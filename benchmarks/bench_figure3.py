@@ -1,0 +1,34 @@
+"""Benchmark / regeneration of Figure 3: EPG pairs per policy object.
+
+Generates the synthetic production-cluster policy (30 switches, 6 VRFs,
+615 EPGs, 386 contracts, 160 filters) and prints the per-object-type CDF
+summary that corresponds to the paper's Figure 3 bullets.
+"""
+
+from repro.experiments import format_figure3, run_figure3
+from repro.workloads import production_cluster_profile
+
+from conftest import full_scale
+
+
+def test_figure3_pairs_per_object(benchmark):
+    profile = production_cluster_profile()
+    if not full_scale():
+        # The reduced profile keeps the same shape at a quarter of the pairs.
+        from repro.workloads import scaled_profile
+
+        profile = scaled_profile(profile, num_leaves=30, pairs_per_leaf=150, name="cluster-quick")
+
+    series = benchmark.pedantic(run_figure3, args=(profile,), rounds=1, iterations=1)
+
+    print()
+    print(format_figure3(series))
+
+    # Shape checks against the paper's observations (the switch threshold of
+    # 1,000 pairs only applies at the full cluster's pair count).
+    from repro.policy.objects import ObjectType
+
+    switch_threshold = 1000 if full_scale() else 100
+    assert series[ObjectType.VRF].fraction_at_least(100) >= 0.5
+    assert series[ObjectType.SWITCH].fraction_at_least(switch_threshold) >= 0.5
+    assert series[ObjectType.CONTRACT].percentile(0.5) < series[ObjectType.VRF].percentile(0.5)

@@ -1,0 +1,57 @@
+"""Benchmark / regeneration of Figure 7: suspect set reduction γ.
+
+Panel (a) injects independent object faults into the testbed policy, panel
+(b) into the simulated cluster policy; for each fault SCOUT's hypothesis size
+is compared against the raw suspect set and the mean γ per suspect-set-size
+bin is printed.
+"""
+
+from repro.experiments import (
+    SIMULATION_BINS,
+    TESTBED_BINS,
+    format_figure7,
+    run_suspect_reduction,
+)
+
+from conftest import full_scale
+
+
+def test_figure7a_testbed_suspect_reduction(benchmark, deployed_testbed):
+    num_faults = 200 if full_scale() else 40
+    result = benchmark.pedantic(
+        run_suspect_reduction,
+        kwargs=dict(
+            deployed=deployed_testbed,
+            num_faults=num_faults,
+            bins=TESTBED_BINS,
+            setting="testbed",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_figure7(result))
+    assert result.samples
+    assert result.max_hypothesis_size() <= 15
+
+
+def test_figure7b_simulation_suspect_reduction(benchmark, deployed_simulation):
+    num_faults = 1500 if full_scale() else 60
+    result = benchmark.pedantic(
+        run_suspect_reduction,
+        kwargs=dict(
+            deployed=deployed_simulation,
+            num_faults=num_faults,
+            bins=SIMULATION_BINS,
+            setting="simulation",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_figure7(result))
+    assert result.samples
+    # γ must stay small on average: SCOUT reports a handful of objects while
+    # failed pairs depend on tens to hundreds.
+    mean_gamma = sum(sample.gamma for sample in result.samples) / len(result.samples)
+    assert mean_gamma <= 0.5

@@ -1,0 +1,27 @@
+"""Benchmark / regeneration of the scalability study (§VI-B).
+
+Scales the controller risk model from 10 to 500 leaf switches (50/100/200 in
+quick mode) and measures model-construction and SCOUT localization time.
+"""
+
+from repro.experiments import format_scalability, run_scalability
+
+from conftest import full_scale
+
+
+def test_scalability_controller_risk_model(benchmark):
+    leaf_counts = (10, 50, 100, 200, 500) if full_scale() else (10, 50, 100, 200)
+    pairs_per_leaf = 40
+    points = benchmark.pedantic(
+        run_scalability,
+        kwargs=dict(leaf_counts=leaf_counts, pairs_per_leaf=pairs_per_leaf, num_faults=10),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_scalability(points))
+
+    # Runtime must grow with fabric size but stay within commodity-machine
+    # budgets (the paper reports ~130 s at 500 leaves).
+    assert points[-1].elements > points[0].elements
+    assert points[-1].total_seconds < 300

@@ -1,0 +1,46 @@
+"""Shared fixtures and sizing knobs for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the corresponding rows/series.  By default the sweeps run at a reduced number
+of repetitions so the whole harness finishes in a few minutes; set
+``REPRO_BENCH_FULL=1`` to run at the paper's full scale (30 runs per point,
+1,500 simulated faults, 500-leaf scalability sweep).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import prepare_workload
+from repro.workloads import simulation_profile, testbed_profile
+
+
+def full_scale() -> bool:
+    """True when the harness should run at the paper's full repetition counts."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false", "no")
+
+
+@pytest.fixture(scope="session")
+def bench_runs() -> int:
+    """Accuracy-sweep repetitions per (algorithm, fault-count) point."""
+    return 30 if full_scale() else 5
+
+
+@pytest.fixture(scope="session")
+def bench_fault_counts() -> tuple:
+    """Simultaneous-fault counts swept by the accuracy figures."""
+    return tuple(range(1, 11)) if full_scale() else (1, 2, 4, 6, 8, 10)
+
+
+@pytest.fixture(scope="session")
+def deployed_simulation():
+    """The simulated-cluster workload, generated and deployed once per session."""
+    return prepare_workload(simulation_profile())
+
+
+@pytest.fixture(scope="session")
+def deployed_testbed():
+    """The testbed workload, generated and deployed once per session."""
+    return prepare_workload(testbed_profile())

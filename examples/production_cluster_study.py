@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Production-cluster study: regenerate Figure 3 and run a localization sweep.
+
+This example mirrors the paper's measurement study (§III-A) and a slice of
+its evaluation on a single synthetic "production cluster":
+
+1. generate a cluster-scale policy (6 VRFs, 615 EPGs, 386 contracts,
+   160 filters over 30 leaves) whose sharing structure follows Figure 3;
+2. print the pairs-per-object CDF summary (Figure 3);
+3. deploy a scaled-down variant, inject a batch of simultaneous object
+   faults and compare SCOUT against SCORE on precision/recall.
+
+Run with:  python examples/production_cluster_study.py [--faults 5] [--runs 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    format_accuracy_table,
+    format_figure3,
+    prepare_workload,
+    run_accuracy_sweep,
+    run_figure3,
+)
+from repro.workloads import production_cluster_profile, scaled_profile, simulation_profile
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--faults", type=int, default=5, help="max simultaneous faults")
+    parser.add_argument("--runs", type=int, default=5, help="trials per fault count")
+    parser.add_argument("--full", action="store_true",
+                        help="use the full 615-EPG cluster for the Figure 3 study")
+    args = parser.parse_args()
+
+    # --- Figure 3: who shares what ------------------------------------------ #
+    profile = production_cluster_profile()
+    if not args.full:
+        profile = scaled_profile(profile, num_leaves=30, pairs_per_leaf=150, name="cluster-quick")
+    series = run_figure3(profile=profile)
+    print(format_figure3(series))
+
+    # --- Localization accuracy on the simulated cluster --------------------- #
+    print("\nDeploying the simulation-scale cluster policy ...")
+    deployed = prepare_workload(simulation_profile())
+    sweep = run_accuracy_sweep(
+        deployed,
+        scope="controller",
+        fault_counts=tuple(range(1, args.faults + 1)),
+        runs=args.runs,
+    )
+    print()
+    print(format_accuracy_table(sweep, metric="precision"))
+    print()
+    print(format_accuracy_table(sweep, metric="recall"))
+
+
+if __name__ == "__main__":
+    main()

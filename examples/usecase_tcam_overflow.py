@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Use case 1 of §V-B: TCAM overflow caused by a dynamically growing policy.
+
+The 3-tier web policy is deployed onto leaves with a deliberately small TCAM.
+New filters are then attached to the App-DB contract one after another —
+mimicking a tenant that keeps whitelisting new services — until the leaf
+hosting the App tier runs out of TCAM space and starts rejecting installs.
+
+SCOUT's pipeline then:
+
+* finds the missing rules with the L-T equivalence checker,
+* localizes the faulty filter objects with the fault localization engine,
+* and, via the event correlation engine, matches the change logs of those
+  filters with the active ``TCAM_OVERFLOW`` fault to name the root cause.
+
+Run with:  python examples/usecase_tcam_overflow.py [--capacity 12] [--filters 12]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import ScoutSystem
+from repro.workloads import tcam_overflow_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--capacity", type=int, default=12, help="TCAM entries per leaf")
+    parser.add_argument("--filters", type=int, default=12, help="filters added to App-DB")
+    args = parser.parse_args()
+
+    scenario = tcam_overflow_scenario(tcam_capacity=args.capacity, extra_filters=args.filters)
+    controller = scenario.controller
+
+    print("== Scenario ==")
+    print(f"  TCAM capacity per leaf : {args.capacity} entries")
+    print(f"  filters added to App-DB: {args.filters}")
+    print(f"  overflowing switches   : {scenario.facts['overflow_switches']}")
+    for record in scenario.fabric.fault_records():
+        print(f"  device fault           : {record.describe()}")
+
+    system = ScoutSystem(controller)
+    report = system.localize(scope="controller")
+
+    print("\n== SCOUT report ==")
+    print(report.describe())
+
+    causes = report.correlation.root_causes() if report.correlation else {}
+    blamed = set(causes.get("tcam-overflow", []))
+    added = set(scenario.facts["added_filters"])
+    print("\n== Outcome ==")
+    print(f"  missing rules            : {report.equivalence.total_missing()}")
+    print(f"  faulty objects reported  : {len(report.faulty_objects())}")
+    print(f"  blamed on TCAM overflow  : {len(blamed)}")
+    print(f"  of which are added filters: {len(blamed & added)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""SCOUT: fault localization in large-scale network policy deployment.
+
+A full reproduction of Tammana et al., "Fault Localization in Large-Scale
+Network Policy Deployment" (ICDCS 2018), including every substrate the paper
+relies on: an APIC-style policy abstraction, a simulated leaf-spine fabric
+with switch agents and TCAM, a centralized controller with change logs, an
+ROBDD-based L-T equivalence checker, the switch/controller risk models, the
+SCOUT and SCORE localization algorithms, the event correlation engine, fault
+injection, synthetic workloads and the full evaluation harness.
+
+Quickstart
+----------
+>>> from repro import PolicyBuilder, Fabric, Controller
+>>> # see examples/quickstart.py for the end-to-end 3-tier web example
+"""
+
+from .clock import LogicalClock
+from .exceptions import (
+    DeploymentError,
+    FabricError,
+    FaultInjectionError,
+    LocalizationError,
+    PolicyError,
+    ReproError,
+    RiskModelError,
+    TcamError,
+    UnknownObjectError,
+    ValidationError,
+    VerificationError,
+    WorkloadError,
+)
+from .policy import (
+    Contract,
+    Endpoint,
+    Epg,
+    EpgPair,
+    Filter,
+    FilterEntry,
+    NetworkPolicy,
+    ObjectType,
+    PolicyBuilder,
+    PolicyIndex,
+    Tenant,
+    Vrf,
+    three_tier_policy,
+    validate_policy,
+)
+from .rules import TcamRule
+from .fabric import Fabric, FaultCode, LeafSpineTopology, Switch, TcamTable
+from .controller import ControlChannel, Controller
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ControlChannel",
+    "Contract",
+    "Controller",
+    "DeploymentError",
+    "Endpoint",
+    "Epg",
+    "EpgPair",
+    "Fabric",
+    "FabricError",
+    "FaultCode",
+    "FaultInjectionError",
+    "Filter",
+    "FilterEntry",
+    "LeafSpineTopology",
+    "LocalizationError",
+    "LogicalClock",
+    "NetworkPolicy",
+    "ObjectType",
+    "PolicyBuilder",
+    "PolicyError",
+    "PolicyIndex",
+    "ReproError",
+    "RiskModelError",
+    "Switch",
+    "TcamError",
+    "TcamRule",
+    "TcamTable",
+    "Tenant",
+    "UnknownObjectError",
+    "ValidationError",
+    "VerificationError",
+    "Vrf",
+    "WorkloadError",
+    "three_tier_policy",
+    "validate_policy",
+    "__version__",
+]

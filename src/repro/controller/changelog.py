@@ -1,0 +1,121 @@
+"""Controller-side policy change logs.
+
+Every management action on the network policy (object added, modified,
+deleted) is recorded with a logical timestamp.  Two consumers rely on the
+log:
+
+* the SCOUT algorithm's second stage (§IV-C, Algorithm 1 lines 20-25), which
+  explains residual observations by selecting the failed objects to which
+  "some actions are recently applied";
+* the event correlation engine (§V-A), which uses the change timestamps to
+  narrow the device fault logs down to faults that were active when the
+  change was pushed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..policy.objects import ObjectType
+from ..protocol import Operation
+
+__all__ = ["ChangeRecord", "ChangeLog"]
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    """One management-plane action applied to a policy object."""
+
+    timestamp: int
+    object_uid: str
+    object_type: ObjectType
+    operation: Operation
+    detail: str = ""
+
+    def describe(self) -> str:
+        return f"t={self.timestamp} {self.operation.value} {self.object_uid} {self.detail}".rstrip()
+
+
+class ChangeLog:
+    """Append-only, timestamp-ordered log of policy changes."""
+
+    def __init__(self) -> None:
+        self._records: List[ChangeRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record(
+        self,
+        timestamp: int,
+        object_uid: str,
+        object_type: ObjectType,
+        operation: Operation,
+        detail: str = "",
+    ) -> ChangeRecord:
+        record = ChangeRecord(
+            timestamp=timestamp,
+            object_uid=object_uid,
+            object_type=object_type,
+            operation=operation,
+            detail=detail,
+        )
+        self._records.append(record)
+        return record
+
+    def extend(self, records: Iterable[ChangeRecord]) -> None:
+        self._records.extend(records)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def records(self) -> List[ChangeRecord]:
+        return list(self._records)
+
+    def for_object(self, object_uid: str) -> List[ChangeRecord]:
+        return [record for record in self._records if record.object_uid == object_uid]
+
+    def latest_for_object(self, object_uid: str) -> Optional[ChangeRecord]:
+        latest: Optional[ChangeRecord] = None
+        for record in self._records:
+            if record.object_uid == object_uid:
+                if latest is None or record.timestamp >= latest.timestamp:
+                    latest = record
+        return latest
+
+    def since(self, timestamp: int) -> List[ChangeRecord]:
+        """Records with a timestamp strictly greater than ``timestamp``."""
+        return [record for record in self._records if record.timestamp > timestamp]
+
+    def within(self, start: int, end: int) -> List[ChangeRecord]:
+        """Records with ``start <= timestamp <= end``."""
+        return [record for record in self._records if start <= record.timestamp <= end]
+
+    def recently_changed_objects(self, now: int, window: int) -> Dict[str, ChangeRecord]:
+        """Objects changed within ``window`` ticks before ``now``.
+
+        Returns a map from object uid to the most recent change record for
+        that object.  This is the query Algorithm 1's ``lookupChangeLog``
+        performs.
+        """
+        cutoff = now - window
+        latest: Dict[str, ChangeRecord] = {}
+        for record in self._records:
+            if cutoff <= record.timestamp <= now:
+                previous = latest.get(record.object_uid)
+                if previous is None or record.timestamp >= previous.timestamp:
+                    latest[record.object_uid] = record
+        return latest
+
+    def last_timestamp(self) -> int:
+        """Timestamp of the most recent record (0 when the log is empty)."""
+        if not self._records:
+            return 0
+        return max(record.timestamp for record in self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)

@@ -1,0 +1,154 @@
+"""Policy compiler: desired state → per-switch logical rules and instructions.
+
+Two outputs, both derived from the same :class:`~repro.policy.graph.PolicyIndex`:
+
+* **Logical rules (L)** — the TCAM rules every leaf *should* hold if the
+  policy were deployed perfectly.  The L-T equivalence checker compares
+  these against the collected TCAM snapshots.
+* **Instruction batches** — the per-switch stream of object add/modify/delete
+  operations (plus endpoint attachment notifications) the controller pushes
+  through the control channel.  A healthy agent that applies the whole batch
+  renders exactly the logical rules for its switch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..policy.graph import PolicyIndex
+from ..policy.objects import PolicyObject
+from ..policy.tenant import NetworkPolicy
+from ..protocol import AttachEndpoint, Instruction, Operation
+from ..rules import TcamRule, rules_for_pair
+
+__all__ = ["compile_logical_rules", "build_instruction_batches", "SwitchBatch"]
+
+#: Per-switch instruction batch: (instructions, endpoint attachments).
+SwitchBatch = Tuple[List[Instruction], List[AttachEndpoint]]
+
+
+def compile_logical_rules(
+    policy: NetworkPolicy,
+    index: Optional[PolicyIndex] = None,
+) -> Dict[str, List[TcamRule]]:
+    """Compile the policy into the per-leaf logical rule sets (the L side).
+
+    For every EPG pair the rules are installed on every switch that hosts an
+    endpoint of either EPG (see :meth:`NetworkPolicy.pairs_on_switch`); rules
+    for different pairs that happen to share a match are deduplicated per
+    switch, mirroring TCAM behaviour.
+    """
+    index = index or PolicyIndex(policy)
+    per_switch: Dict[str, Dict] = {}
+    for pair in index.pairs:
+        epg_a = index.epg(pair.first)
+        epg_b = index.epg(pair.second)
+        vrf = index.vrf(epg_a.vrf_uid)
+        contracts = []
+        for contract_uid in index.contracts_for_pair(pair):
+            contract = index.contract(contract_uid)
+            filters = []
+            for filter_uid in contract.filter_uids:
+                try:
+                    filters.append((filter_uid, index.filter(filter_uid)))
+                except KeyError:
+                    continue
+            contracts.append((contract_uid, filters))
+        pair_rules = rules_for_pair(vrf, epg_a, epg_b, contracts)
+        for switch_uid in index.switches_for_pair(pair):
+            bucket = per_switch.setdefault(switch_uid, {})
+            for rule in pair_rules:
+                bucket.setdefault(rule.match_key(), rule)
+    return {switch: list(rules.values()) for switch, rules in sorted(per_switch.items())}
+
+
+def build_instruction_batches(
+    policy: NetworkPolicy,
+    index: Optional[PolicyIndex] = None,
+    operation: Operation = Operation.ADD,
+    issued_at: int = 0,
+) -> Dict[str, SwitchBatch]:
+    """Build the per-switch instruction batches for a full-state deployment.
+
+    Each switch receives every policy object needed to render the rules of
+    the EPG pairs present on it — the VRFs, both EPGs, the contracts and the
+    filters (Figure 1(c) shows S1's partial logical view containing EPG:App
+    even though no App endpoint is attached to S1) — plus the attachment
+    notifications for its local endpoints.
+
+    Instructions are ordered deterministically (VRFs, then filters, then
+    contracts, then EPGs) so that a crash after *k* instructions is a
+    reproducible fault.
+    """
+    index = index or PolicyIndex(policy)
+    batches: Dict[str, SwitchBatch] = {}
+
+    # Pre-index the objects by uid for quick lookup.
+    objects_by_uid: Dict[str, PolicyObject] = {obj.uid: obj for obj in policy.objects()}
+
+    # Endpoint attachments per switch.
+    attachments_per_switch: Dict[str, List[AttachEndpoint]] = {}
+    for endpoint in policy.endpoints():
+        if endpoint.switch_uid is None:
+            continue
+        attachments_per_switch.setdefault(endpoint.switch_uid, []).append(
+            AttachEndpoint(
+                endpoint_uid=endpoint.uid,
+                epg_uid=endpoint.epg_uid,
+                switch_uid=endpoint.switch_uid,
+                issued_at=issued_at,
+            )
+        )
+
+    type_order = {"vrf": 0, "filter": 1, "contract": 2, "epg": 3}
+
+    for switch_uid in index.all_switches():
+        needed: Dict[str, PolicyObject] = {}
+        for pair in index.pairs_on_switch(switch_uid):
+            for uid in index.risks_for_pair(pair):
+                obj = objects_by_uid.get(uid)
+                if obj is not None:
+                    needed[uid] = obj
+        # EPGs that are attached locally but have no pairs yet still need
+        # their EPG and VRF objects (they may gain contracts later).
+        for attach in attachments_per_switch.get(switch_uid, ()):
+            epg = objects_by_uid.get(attach.epg_uid)
+            if epg is not None:
+                needed[epg.uid] = epg
+                vrf = objects_by_uid.get(getattr(epg, "vrf_uid", ""))
+                if vrf is not None:
+                    needed[vrf.uid] = vrf
+
+        ordered = sorted(
+            needed.values(),
+            key=lambda obj: (type_order.get(obj.object_type.value, 9), obj.uid),
+        )
+        instructions = [
+            Instruction(operation=operation, obj=obj, sequence=seq, issued_at=issued_at)
+            for seq, obj in enumerate(ordered)
+        ]
+        batches[switch_uid] = (instructions, attachments_per_switch.get(switch_uid, []))
+
+    # Switches that host endpoints but no pairs at all still need a batch
+    # (attachments only) so the agent learns its local endpoints.
+    for switch_uid, attaches in attachments_per_switch.items():
+        if switch_uid not in batches:
+            needed = {}
+            for attach in attaches:
+                epg = objects_by_uid.get(attach.epg_uid)
+                if epg is not None:
+                    needed[epg.uid] = epg
+                    vrf = objects_by_uid.get(getattr(epg, "vrf_uid", ""))
+                    if vrf is not None:
+                        needed[vrf.uid] = vrf
+            ordered = sorted(
+                needed.values(),
+                key=lambda obj: (type_order.get(obj.object_type.value, 9), obj.uid),
+            )
+            instructions = [
+                Instruction(operation=operation, obj=obj, sequence=seq, issued_at=issued_at)
+                for seq, obj in enumerate(ordered)
+            ]
+            batches[switch_uid] = (instructions, attaches)
+
+    return batches

@@ -1,0 +1,217 @@
+"""The centralized policy controller (APIC-like).
+
+The controller owns the desired state (the :class:`NetworkPolicy`), compiles
+it into per-switch instructions and logical rules, pushes instructions over
+the :class:`~repro.controller.channel.ControlChannel`, and maintains the two
+logs the SCOUT system consumes:
+
+* the **change log** — every management action on a policy object;
+* the **controller fault log** — reachability problems it observes while
+  pushing (an unresponsive switch shows up here, matching the paper's §V-B
+  use case where both logs are "maintained at the controller").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..clock import LogicalClock
+from ..exceptions import DeploymentError
+from ..fabric.fabric import Fabric
+from ..fabric.faultlog import FaultCode, FaultLogBook
+from ..policy.graph import PolicyIndex
+from ..policy.objects import PolicyObject
+from ..policy.tenant import NetworkPolicy
+from ..policy.validation import validate_policy
+from ..protocol import DeliveryReport, DeliveryStatus, Operation
+from ..rules import TcamRule
+from .changelog import ChangeLog
+from .channel import ControlChannel
+from .compiler import build_instruction_batches, compile_logical_rules
+
+__all__ = ["Controller"]
+
+
+class Controller:
+    """Central policy controller for one fabric."""
+
+    def __init__(
+        self,
+        policy: NetworkPolicy,
+        fabric: Fabric,
+        channel: Optional[ControlChannel] = None,
+        validate: bool = True,
+    ) -> None:
+        if validate:
+            validate_policy(policy)
+        self.policy = policy
+        self.fabric = fabric
+        self.clock: LogicalClock = fabric.clock
+        self.channel = channel or ControlChannel(fabric)
+        self.change_log = ChangeLog()
+        self.fault_log = FaultLogBook()
+        self.deployment_reports: List[Dict[str, DeliveryReport]] = []
+        self._initial_changes_recorded = False
+
+    # ------------------------------------------------------------------ #
+    # Change-log management
+    # ------------------------------------------------------------------ #
+    def record_change(
+        self,
+        obj: PolicyObject,
+        operation: Operation,
+        detail: str = "",
+        timestamp: Optional[int] = None,
+    ) -> None:
+        """Record a management action against ``obj`` in the change log."""
+        self.change_log.record(
+            timestamp=self.clock.peek() if timestamp is None else timestamp,
+            object_uid=obj.uid,
+            object_type=obj.object_type,
+            operation=operation,
+            detail=detail,
+        )
+
+    def _record_initial_changes(self) -> None:
+        """Record the creation of every object at first deployment time."""
+        if self._initial_changes_recorded:
+            return
+        timestamp = self.clock.peek()
+        for obj in self.policy.objects():
+            self.change_log.record(
+                timestamp=timestamp,
+                object_uid=obj.uid,
+                object_type=obj.object_type,
+                operation=Operation.ADD,
+                detail="initial deployment",
+            )
+        self._initial_changes_recorded = True
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    def build_index(self) -> PolicyIndex:
+        """Build a fresh dependency index over the current desired state."""
+        return PolicyIndex(self.policy)
+
+    def logical_rules(self, index: Optional[PolicyIndex] = None) -> Dict[str, List[TcamRule]]:
+        """The L-type rules: what every leaf should hold (desired state)."""
+        return compile_logical_rules(self.policy, index=index)
+
+    # ------------------------------------------------------------------ #
+    # Deployment
+    # ------------------------------------------------------------------ #
+    def deploy(
+        self,
+        index: Optional[PolicyIndex] = None,
+        record_initial_changes: bool = True,
+    ) -> Dict[str, DeliveryReport]:
+        """Push the full desired state to every leaf switch.
+
+        Returns the per-switch delivery reports.  Unreachable switches are
+        logged in the controller fault log (and remain logged as active until
+        a later deployment reaches them again).
+        """
+        self.clock.tick()
+        if record_initial_changes:
+            self._record_initial_changes()
+        index = index or self.build_index()
+        batches = build_instruction_batches(
+            self.policy, index=index, operation=Operation.ADD, issued_at=self.clock.peek()
+        )
+        if not batches:
+            raise DeploymentError(
+                "nothing to deploy: no endpoint of the policy is attached to a switch"
+            )
+        reports = self.channel.broadcast(batches)
+        for switch_uid, report in reports.items():
+            if report.status is DeliveryStatus.UNREACHABLE:
+                self.fault_log.raise_fault(
+                    self.clock.peek(),
+                    switch_uid,
+                    FaultCode.SWITCH_UNREACHABLE,
+                    detail="deployment push failed: switch did not acknowledge instructions",
+                )
+            elif report.status is DeliveryStatus.PARTIAL:
+                self.fault_log.raise_fault(
+                    self.clock.peek(),
+                    switch_uid,
+                    FaultCode.CHANNEL_DISRUPTION,
+                    detail=f"{report.dropped} instruction(s) were not applied",
+                )
+        self.deployment_reports.append(reports)
+        return reports
+
+    # ------------------------------------------------------------------ #
+    # Policy mutation (management actions)
+    # ------------------------------------------------------------------ #
+    def add_object(self, tenant_name: str, obj: PolicyObject, detail: str = "") -> None:
+        """Add a new object to the desired state and record the change."""
+        tenant = self.policy.tenants[tenant_name]
+        adders = {
+            "vrf": tenant.add_vrf,
+            "epg": tenant.add_epg,
+            "contract": tenant.add_contract,
+            "filter": tenant.add_filter,
+            "endpoint": tenant.add_endpoint,
+        }
+        adder = adders.get(obj.object_type.value)
+        if adder is None:
+            raise DeploymentError(f"cannot add object of type {obj.object_type!r}")
+        adder(obj)
+        self.clock.tick()
+        self.record_change(obj, Operation.ADD, detail=detail)
+
+    def modify_object(self, tenant_name: str, obj: PolicyObject, detail: str = "") -> None:
+        """Replace an existing object in the desired state and record the change."""
+        tenant = self.policy.tenants[tenant_name]
+        tables = {
+            "vrf": tenant.vrfs,
+            "epg": tenant.epgs,
+            "contract": tenant.contracts,
+            "filter": tenant.filters,
+            "endpoint": tenant.endpoints,
+        }
+        table = tables.get(obj.object_type.value)
+        if table is None or obj.uid not in table:
+            raise DeploymentError(f"cannot modify unknown object {obj.uid!r}")
+        table[obj.uid] = obj
+        self.clock.tick()
+        self.record_change(obj, Operation.MODIFY, detail=detail)
+
+    def delete_object(self, tenant_name: str, obj: PolicyObject, detail: str = "") -> None:
+        """Remove an object from the desired state and record the change."""
+        tenant = self.policy.tenants[tenant_name]
+        tables = {
+            "vrf": tenant.vrfs,
+            "epg": tenant.epgs,
+            "contract": tenant.contracts,
+            "filter": tenant.filters,
+            "endpoint": tenant.endpoints,
+        }
+        table = tables.get(obj.object_type.value)
+        if table is None or obj.uid not in table:
+            raise DeploymentError(f"cannot delete unknown object {obj.uid!r}")
+        del table[obj.uid]
+        self.clock.tick()
+        self.record_change(obj, Operation.DELETE, detail=detail)
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def collect_deployed_rules(self) -> Dict[str, List[TcamRule]]:
+        """Collect the T-type rules from every leaf TCAM."""
+        return self.fabric.collect_tcam_rules()
+
+    def all_fault_records(self):
+        """Device fault records plus the controller's own observations."""
+        records = list(self.fabric.fault_records()) + self.fault_log.records()
+        return sorted(records, key=lambda record: (record.raised_at, record.device_uid))
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            **self.policy.summary(),
+            "deployments": len(self.deployment_reports),
+            "change_records": len(self.change_log),
+            "controller_faults": len(self.fault_log),
+        }

@@ -1,0 +1,53 @@
+"""The paper's primary contribution: fault localization of network policies.
+
+This package contains the SCOUT algorithm, the SCORE baseline, the accuracy
+and suspect-set-reduction metrics, the event correlation engine and the
+end-to-end :class:`ScoutSystem` pipeline.
+"""
+
+from .correlation import (
+    CorrelationReport,
+    EventCorrelationEngine,
+    FaultSignature,
+    RootCauseFinding,
+    default_signatures,
+)
+from .hypothesis import Hypothesis, HypothesisEntry, SelectionReason
+from .metrics import (
+    AccuracyResult,
+    accuracy,
+    bin_by_suspect_count,
+    f1_score,
+    precision,
+    recall,
+    suspect_set,
+    suspect_set_reduction,
+)
+from .score import ScoreLocalizer
+from .scout import ChangeLogOracle, RecentChangeOracle, ScoutLocalizer
+from .system import ScoutReport, ScoutSystem
+
+__all__ = [
+    "AccuracyResult",
+    "ChangeLogOracle",
+    "CorrelationReport",
+    "EventCorrelationEngine",
+    "FaultSignature",
+    "Hypothesis",
+    "HypothesisEntry",
+    "RecentChangeOracle",
+    "RootCauseFinding",
+    "ScoreLocalizer",
+    "ScoutLocalizer",
+    "ScoutReport",
+    "ScoutSystem",
+    "SelectionReason",
+    "accuracy",
+    "bin_by_suspect_count",
+    "default_signatures",
+    "f1_score",
+    "precision",
+    "recall",
+    "suspect_set",
+    "suspect_set_reduction",
+]

@@ -1,0 +1,107 @@
+"""Hypothesis: the output of a fault-localization run.
+
+A hypothesis is "a minimum set of most-likely faulty policy objects that
+explains most of the observed failures" (§I).  Besides the bare object set,
+the class records *why* each object was selected (which stage and with what
+utility values), which observations it explains, and which observations the
+algorithm could not explain — all of which the evaluation and the event
+correlation engine consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Set
+
+__all__ = ["SelectionReason", "HypothesisEntry", "Hypothesis"]
+
+
+class SelectionReason(str, enum.Enum):
+    """How an object ended up in the hypothesis."""
+
+    #: Selected by the greedy hit-ratio/coverage stage (SCOUT stage 1, SCORE).
+    HIT_AND_COVERAGE = "hit-and-coverage"
+    #: Selected by SCOUT's change-log stage for residual observations.
+    CHANGE_LOG = "change-log"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class HypothesisEntry:
+    """One object in the hypothesis, with the evidence that selected it."""
+
+    risk: Hashable
+    reason: SelectionReason
+    hit_ratio: float = 0.0
+    coverage_ratio: float = 0.0
+    iteration: int = 0
+    explained: Set[Hashable] = field(default_factory=set)
+
+    def describe(self) -> str:
+        return (
+            f"{self.risk} ({self.reason.value}, hit={self.hit_ratio:.2f}, "
+            f"cov={self.coverage_ratio:.2f}, explains {len(self.explained)})"
+        )
+
+
+@dataclass
+class Hypothesis:
+    """The full localization output."""
+
+    entries: List[HypothesisEntry] = field(default_factory=list)
+    explained: Set[Hashable] = field(default_factory=set)
+    unexplained: Set[Hashable] = field(default_factory=set)
+    iterations: int = 0
+    algorithm: str = ""
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def add(self, entry: HypothesisEntry) -> None:
+        if entry.risk not in self.objects():
+            self.entries.append(entry)
+        self.explained.update(entry.explained)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def objects(self) -> Set[Hashable]:
+        """The set of risk keys (policy-object uids / switch uids) reported faulty."""
+        return {entry.risk for entry in self.entries}
+
+    def objects_by_reason(self, reason: SelectionReason) -> Set[Hashable]:
+        return {entry.risk for entry in self.entries if entry.reason is reason}
+
+    def entry_for(self, risk: Hashable) -> Optional[HypothesisEntry]:
+        for entry in self.entries:
+            if entry.risk == risk:
+                return entry
+        return None
+
+    def __len__(self) -> int:
+        return len(self.objects())
+
+    def __contains__(self, risk: Hashable) -> bool:
+        return risk in self.objects()
+
+    def merge(self, other: "Hypothesis") -> "Hypothesis":
+        """Union of two hypotheses (used to combine per-switch results)."""
+        merged = Hypothesis(algorithm=self.algorithm or other.algorithm)
+        for entry in list(self.entries) + list(other.entries):
+            if entry.risk not in merged.objects():
+                merged.entries.append(entry)
+        merged.explained = set(self.explained) | set(other.explained)
+        merged.unexplained = (set(self.unexplained) | set(other.unexplained)) - merged.explained
+        merged.iterations = max(self.iterations, other.iterations)
+        return merged
+
+    def describe(self) -> str:
+        lines = [f"Hypothesis ({self.algorithm}): {len(self)} object(s)"]
+        for entry in self.entries:
+            lines.append(f"  - {entry.describe()}")
+        if self.unexplained:
+            lines.append(f"  ({len(self.unexplained)} observation(s) left unexplained)")
+        return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Evaluation metrics (§VI).
+
+Three quantities drive the paper's evaluation:
+
+* **precision** ``|G ∩ H| / |H|`` — fewer false positives is better;
+* **recall** ``|G ∩ H| / |G|`` — fewer false negatives is better;
+* **suspect-set reduction γ** — the ratio between the size of the hypothesis
+  and the number of objects that the failed EPG pairs rely on (what an admin
+  would otherwise have to inspect by hand).
+
+``G`` is the ground truth (the objects whose deployment was actually
+faulted) and ``H`` the hypothesis produced by a localizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from ..risk.model import RiskModel
+from .hypothesis import Hypothesis
+
+__all__ = [
+    "AccuracyResult",
+    "precision",
+    "recall",
+    "f1_score",
+    "accuracy",
+    "suspect_set",
+    "suspect_set_reduction",
+    "bin_by_suspect_count",
+]
+
+
+def _as_set(objects: Iterable[Hashable]) -> Set[Hashable]:
+    if isinstance(objects, Hypothesis):
+        return set(objects.objects())
+    return set(objects)
+
+
+def precision(ground_truth: Iterable[Hashable], hypothesis: Iterable[Hashable]) -> float:
+    """``|G ∩ H| / |H|``; defined as 1.0 when the hypothesis is empty and G is empty, else 0."""
+    truth = _as_set(ground_truth)
+    hypo = _as_set(hypothesis)
+    if not hypo:
+        return 1.0 if not truth else 0.0
+    return len(truth & hypo) / len(hypo)
+
+
+def recall(ground_truth: Iterable[Hashable], hypothesis: Iterable[Hashable]) -> float:
+    """``|G ∩ H| / |G|``; defined as 1.0 when the ground truth is empty."""
+    truth = _as_set(ground_truth)
+    hypo = _as_set(hypothesis)
+    if not truth:
+        return 1.0
+    return len(truth & hypo) / len(truth)
+
+
+def f1_score(ground_truth: Iterable[Hashable], hypothesis: Iterable[Hashable]) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(ground_truth, hypothesis)
+    r = recall(ground_truth, hypothesis)
+    if p + r == 0.0:
+        return 0.0
+    return 2 * p * r / (p + r)
+
+
+@dataclass(frozen=True)
+class AccuracyResult:
+    """Precision/recall bundle with the raw set sizes, for experiment tables."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    hypothesis_size: int
+    ground_truth_size: int
+
+
+def accuracy(ground_truth: Iterable[Hashable], hypothesis: Iterable[Hashable]) -> AccuracyResult:
+    """Compute the full accuracy bundle for one localization run."""
+    truth = _as_set(ground_truth)
+    hypo = _as_set(hypothesis)
+    tp = len(truth & hypo)
+    return AccuracyResult(
+        precision=precision(truth, hypo),
+        recall=recall(truth, hypo),
+        f1=f1_score(truth, hypo),
+        true_positives=tp,
+        false_positives=len(hypo) - tp,
+        false_negatives=len(truth) - tp,
+        hypothesis_size=len(hypo),
+        ground_truth_size=len(truth),
+    )
+
+
+def suspect_set(model: RiskModel) -> Set[Hashable]:
+    """All objects that failed elements rely on — the admin's raw search space."""
+    return model.suspect_risks()
+
+
+def suspect_set_reduction(model: RiskModel, hypothesis: Iterable[Hashable]) -> float:
+    """γ — hypothesis size divided by the raw suspect-set size (§VI).
+
+    Smaller is better; γ is 0 when there is nothing to suspect.
+    """
+    suspects = suspect_set(model)
+    if not suspects:
+        return 0.0
+    return len(_as_set(hypothesis)) / len(suspects)
+
+
+def bin_by_suspect_count(
+    samples: Sequence[Tuple[int, float]],
+    bins: Sequence[Tuple[int, int]],
+) -> Dict[str, Dict[str, float]]:
+    """Aggregate (suspect-count, γ) samples into the bins of Figure 7.
+
+    ``bins`` is a sequence of inclusive ``(low, high)`` ranges, e.g.
+    ``[(1, 10), (10, 50), ...]`` — matching the x-axis buckets the paper uses.
+    Returns, per bin label ``"low-high"``, the mean γ and the sample count.
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    for low, high in bins:
+        label = f"{low}-{high}"
+        values = [gamma for count, gamma in samples if low <= count <= high]
+        results[label] = {
+            "mean_gamma": sum(values) / len(values) if values else 0.0,
+            "max_gamma": max(values) if values else 0.0,
+            "samples": float(len(values)),
+        }
+    return results

@@ -1,0 +1,197 @@
+"""SCOUT: the paper's fault-localization algorithm (§IV-C, Algorithms 1-2).
+
+SCOUT runs in two stages:
+
+**Stage 1 — greedy hit/coverage selection.**  While unexplained observations
+remain, compute the hit and coverage ratios of every shared risk with a
+failed edge to an unexplained observation; among the risks with hit ratio
+exactly 1 (all of their dependents failed), pick the ones with the highest
+coverage of the still-unexplained observations (Algorithm 2), add them to the
+hypothesis, and prune every element that depends on them (Algorithm 1,
+lines 4-19).  The loop ends when no risk has hit ratio 1 anymore.
+
+**Stage 2 — change-log lookup.**  Observations left unexplained are caused by
+*partially* failed objects (hit ratio < 1), which is the case SCORE treats as
+noise.  For each residual observation SCOUT inspects the controller change
+log and selects the failed objects "to which some actions are recently
+applied" (lines 20-25).
+
+The change-log stage is pluggable: any object implementing
+:class:`ChangeLogOracle`'s interface can be supplied, the default adapter
+wrapping :class:`repro.controller.changelog.ChangeLog` with a recency window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Protocol, Set
+
+from ..controller.changelog import ChangeLog
+from ..exceptions import LocalizationError
+from ..risk.model import RiskModel
+from .hypothesis import Hypothesis, HypothesisEntry, SelectionReason
+
+__all__ = ["ChangeLogOracle", "RecentChangeOracle", "ScoutLocalizer"]
+
+
+class ChangeLogOracle(Protocol):
+    """The query SCOUT's second stage needs from the controller change log."""
+
+    def recently_changed(self, candidates: Iterable[Hashable]) -> Set[Hashable]:
+        """Return the subset of ``candidates`` with recent management actions."""
+        ...
+
+
+@dataclass
+class RecentChangeOracle:
+    """Default change-log oracle: a sliding recency window over a ChangeLog.
+
+    ``window`` is measured in logical-clock ticks backwards from ``now``
+    (defaulting to the newest record in the log).  With ``fallback_latest``
+    enabled, a candidate set with no record inside the window falls back to
+    the candidate with the most recent record overall — useful when an
+    operator runs localization long after the offending change.
+    """
+
+    change_log: ChangeLog
+    window: int = 100
+    now: Optional[int] = None
+    fallback_latest: bool = True
+
+    def recently_changed(self, candidates: Iterable[Hashable]) -> Set[Hashable]:
+        candidate_list = [c for c in candidates if isinstance(c, str)]
+        if not candidate_list:
+            return set()
+        reference = self.now if self.now is not None else self.change_log.last_timestamp()
+        recent = self.change_log.recently_changed_objects(reference, self.window)
+        selected = {uid for uid in candidate_list if uid in recent}
+        if selected or not self.fallback_latest:
+            return selected
+        # Fallback: the candidate with the newest change record, if any exist.
+        best_uid: Optional[str] = None
+        best_time = -1
+        for uid in candidate_list:
+            record = self.change_log.latest_for_object(uid)
+            if record is not None and record.timestamp > best_time:
+                best_time = record.timestamp
+                best_uid = uid
+        return {best_uid} if best_uid is not None else set()
+
+
+class ScoutLocalizer:
+    """The SCOUT greedy localization algorithm."""
+
+    def __init__(self, change_oracle: Optional[ChangeLogOracle] = None) -> None:
+        self.change_oracle = change_oracle
+
+    @property
+    def name(self) -> str:
+        return "SCOUT"
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 2: pickCandidates
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _pick_candidates(
+        model: RiskModel,
+        risks: Set[Hashable],
+        unexplained: Set[Hashable],
+    ) -> tuple[Set[Hashable], Dict[Hashable, Set[Hashable]]]:
+        """Risks with hit ratio 1 and maximal coverage of ``unexplained``.
+
+        Returns the chosen risk set and, for each chosen risk, the
+        observations it explains.
+        """
+        hit_set: dict[Hashable, Set[Hashable]] = {}
+        for risk in risks:
+            dependents = model.elements_for_risk(risk)
+            if not dependents:
+                continue
+            failed = model.failed_elements_for_risk(risk)
+            if len(failed) == len(dependents):  # hit ratio == 1
+                gain = failed & unexplained
+                if gain:
+                    hit_set[risk] = gain
+        if not hit_set:
+            return set(), {}
+        max_gain = max(len(gain) for gain in hit_set.values())
+        chosen = {risk for risk, gain in hit_set.items() if len(gain) == max_gain}
+        return chosen, {risk: hit_set[risk] for risk in chosen}
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1: the main loop
+    # ------------------------------------------------------------------ #
+    def localize(
+        self,
+        model: RiskModel,
+        failure_signature: Optional[Set[Hashable]] = None,
+        change_oracle: Optional[ChangeLogOracle] = None,
+    ) -> Hypothesis:
+        """Run SCOUT over an augmented risk model and return its hypothesis."""
+        oracle = change_oracle or self.change_oracle
+        signature = (
+            set(failure_signature)
+            if failure_signature is not None
+            else model.failure_signature()
+        )
+        hypothesis = Hypothesis(algorithm=self.name)
+        if not signature:
+            return hypothesis
+
+        working = model.copy()
+        unexplained = set(signature)
+        iteration = 0
+
+        while unexplained:
+            iteration += 1
+            # K: risks with failed edges to currently-unexplained observations.
+            candidate_risks: Set[Hashable] = set()
+            for observation in unexplained:
+                candidate_risks |= working.failed_risks_for_element(observation)
+            faulty_set, gains = self._pick_candidates(working, candidate_risks, unexplained)
+            if not faulty_set:
+                break
+            # Prune every element (failed or not) depending on a chosen risk.
+            affected: Set[Hashable] = set()
+            for risk in faulty_set:
+                affected |= working.elements_for_risk(risk)
+            for risk in sorted(faulty_set, key=repr):
+                hypothesis.add(
+                    HypothesisEntry(
+                        risk=risk,
+                        reason=SelectionReason.HIT_AND_COVERAGE,
+                        hit_ratio=1.0,
+                        coverage_ratio=(len(gains[risk]) / len(unexplained)) if unexplained else 0.0,
+                        iteration=iteration,
+                        explained=set(gains[risk]),
+                    )
+                )
+            working.prune_elements(affected)
+            unexplained -= affected
+
+        # Stage 2: explain the residual observations via the change log.
+        if unexplained and oracle is not None:
+            for observation in sorted(unexplained, key=repr):
+                failed_objects = model.failed_risks_for_element(observation)
+                recent = oracle.recently_changed(failed_objects)
+                for risk in sorted(recent, key=repr):
+                    if risk in hypothesis:
+                        entry = hypothesis.entry_for(risk)
+                        if entry is not None:
+                            entry.explained.add(observation)
+                        hypothesis.explained.add(observation)
+                        continue
+                    hypothesis.add(
+                        HypothesisEntry(
+                            risk=risk,
+                            reason=SelectionReason.CHANGE_LOG,
+                            hit_ratio=model.hit_ratio(risk),
+                            coverage_ratio=model.coverage_ratio(risk, signature),
+                            iteration=iteration,
+                            explained={observation},
+                        )
+                    )
+
+        hypothesis.unexplained = signature - hypothesis.explained
+        hypothesis.iterations = iteration
+        return hypothesis

@@ -1,0 +1,193 @@
+"""The end-to-end SCOUT system (§V, Figure 6).
+
+``ScoutSystem`` wires the pieces together exactly as the paper's architecture
+diagram shows:
+
+1. the **L-T equivalence checker** compares the logical rules compiled from
+   the controller's policy against the TCAM rules collected from the fabric
+   and emits missing rules;
+2. the **fault localization engine** builds the switch and/or controller
+   risk models, augments them with the missing rules and runs the SCOUT
+   algorithm to produce a hypothesis of faulty policy objects;
+3. the **event correlation engine** combines the hypothesis with the
+   controller change logs and the device fault logs to output the most
+   likely physical-level root causes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Literal, Optional, Sequence, Set
+
+from ..controller.controller import Controller
+from ..policy.graph import PolicyIndex
+from ..risk.augment import augment_controller_model, augment_switch_model
+from ..risk.controller_model import build_controller_risk_model
+from ..risk.model import RiskModel
+from ..risk.switch_model import build_switch_risk_model
+from ..rules import TcamRule
+from ..verify.checker import EquivalenceChecker, EquivalenceReport
+from .correlation import CorrelationReport, EventCorrelationEngine
+from .hypothesis import Hypothesis
+from .metrics import suspect_set_reduction
+from .scout import RecentChangeOracle, ScoutLocalizer
+
+__all__ = ["ScoutReport", "ScoutSystem"]
+
+Scope = Literal["controller", "switch"]
+
+
+@dataclass
+class ScoutReport:
+    """Everything one end-to-end SCOUT run produced."""
+
+    scope: Scope
+    equivalence: EquivalenceReport
+    hypothesis: Hypothesis
+    per_switch: Dict[str, Hypothesis] = field(default_factory=dict)
+    risk_models: Dict[str, RiskModel] = field(default_factory=dict)
+    correlation: Optional[CorrelationReport] = None
+
+    @property
+    def consistent(self) -> bool:
+        """True when the deployed state matches the policy everywhere."""
+        return self.equivalence.equivalent
+
+    def faulty_objects(self) -> Set[Hashable]:
+        return self.hypothesis.objects()
+
+    def suspect_reduction(self) -> float:
+        """Mean suspect-set-reduction γ across the augmented risk models."""
+        gammas = [
+            suspect_set_reduction(model, self.hypothesis.objects())
+            for model in self.risk_models.values()
+            if model.failure_signature()
+        ]
+        if not gammas:
+            return 0.0
+        return sum(gammas) / len(gammas)
+
+    def describe(self) -> str:
+        lines = [
+            f"SCOUT report ({self.scope} scope)",
+            f"  missing rules: {self.equivalence.total_missing()} "
+            f"across {len(self.equivalence.switches_with_violations())} switch(es)",
+            self.hypothesis.describe(),
+        ]
+        if self.correlation is not None and self.correlation.findings:
+            lines.append(self.correlation.describe())
+        return "\n".join(lines)
+
+
+class ScoutSystem:
+    """End-to-end pipeline: equivalence check → localization → correlation."""
+
+    def __init__(
+        self,
+        controller: Controller,
+        checker: Optional[EquivalenceChecker] = None,
+        localizer: Optional[ScoutLocalizer] = None,
+        correlation_engine: Optional[EventCorrelationEngine] = None,
+        change_window: int = 100,
+        include_switch_risks: bool = True,
+    ) -> None:
+        self.controller = controller
+        self.checker = checker or EquivalenceChecker()
+        self.change_window = change_window
+        self.include_switch_risks = include_switch_risks
+        self.localizer = localizer or ScoutLocalizer(
+            change_oracle=RecentChangeOracle(
+                change_log=controller.change_log, window=change_window
+            )
+        )
+        self.correlation_engine = correlation_engine or EventCorrelationEngine()
+
+    # ------------------------------------------------------------------ #
+    # Step 1: L-T equivalence check
+    # ------------------------------------------------------------------ #
+    def check(self, index: Optional[PolicyIndex] = None) -> EquivalenceReport:
+        """Compare desired (L) and deployed (T) rules across the fabric."""
+        logical = self.controller.logical_rules(index=index)
+        deployed = self.controller.collect_deployed_rules()
+        return self.checker.check_network(logical, deployed)
+
+    # ------------------------------------------------------------------ #
+    # Step 2: fault localization
+    # ------------------------------------------------------------------ #
+    def localize(
+        self,
+        scope: Scope = "controller",
+        report: Optional[EquivalenceReport] = None,
+        correlate: bool = True,
+    ) -> ScoutReport:
+        """Run the full pipeline and return a :class:`ScoutReport`."""
+        index = self.controller.build_index()
+        equivalence = report or self.check(index=index)
+        missing_by_switch = equivalence.missing_rules()
+
+        risk_models: Dict[str, RiskModel] = {}
+        per_switch: Dict[str, Hypothesis] = {}
+
+        if scope == "switch":
+            merged = Hypothesis(algorithm=self.localizer.name)
+            for switch_uid, missing in sorted(missing_by_switch.items()):
+                model = build_switch_risk_model(index, switch_uid)
+                augment_switch_model(model, missing)
+                risk_models[switch_uid] = model
+                hypothesis = self.localizer.localize(model)
+                per_switch[switch_uid] = hypothesis
+                merged = merged.merge(hypothesis)
+            hypothesis = merged
+        else:
+            model = build_controller_risk_model(
+                self.controller.policy,
+                index=index,
+                include_switch_risks=self.include_switch_risks,
+            )
+            augment_controller_model(
+                model, missing_by_switch, include_switch_risks=self.include_switch_risks
+            )
+            risk_models["controller"] = model
+            hypothesis = self.localizer.localize(model)
+
+        correlation = None
+        if correlate and hypothesis.objects():
+            correlation = self._correlate(hypothesis, missing_by_switch)
+
+        return ScoutReport(
+            scope=scope,
+            equivalence=equivalence,
+            hypothesis=hypothesis,
+            per_switch=per_switch,
+            risk_models=risk_models,
+            correlation=correlation,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Step 3: event correlation
+    # ------------------------------------------------------------------ #
+    def _correlate(
+        self,
+        hypothesis: Hypothesis,
+        missing_by_switch: Dict[str, Sequence[TcamRule]],
+    ) -> CorrelationReport:
+        """Map each faulty object to the devices its missing rules touched."""
+        relevant_devices: Dict[Hashable, List[str]] = {}
+        for switch_uid, missing in missing_by_switch.items():
+            for rule in missing:
+                for uid in rule.objects():
+                    relevant_devices.setdefault(uid, [])
+                    if switch_uid not in relevant_devices[uid]:
+                        relevant_devices[uid].append(switch_uid)
+        # A switch selected as a faulty risk is its own relevant device.
+        for risk in hypothesis.objects():
+            if isinstance(risk, str) and risk in self.controller.fabric:
+                relevant_devices.setdefault(risk, [risk])
+
+        fault_records = self.controller.all_fault_records()
+        return self.correlation_engine.correlate(
+            hypothesis,
+            self.controller.change_log,
+            fault_records,
+            relevant_devices=relevant_devices,
+        )

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the SCOUT reproduction.
+
+All exceptions raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class PolicyError(ReproError):
+    """Raised for malformed or inconsistent network-policy definitions."""
+
+
+class ValidationError(PolicyError):
+    """Raised when a network policy fails structural validation.
+
+    The ``issues`` attribute carries the full list of human-readable
+    validation problems so callers can report all of them at once.
+    """
+
+    def __init__(self, issues: list[str]):
+        self.issues = list(issues)
+        joined = "; ".join(self.issues)
+        super().__init__(f"policy validation failed with {len(self.issues)} issue(s): {joined}")
+
+
+class UnknownObjectError(PolicyError):
+    """Raised when a policy object identifier cannot be resolved."""
+
+
+class DuplicateObjectError(PolicyError):
+    """Raised when two policy objects are registered under the same identifier."""
+
+
+class FabricError(ReproError):
+    """Raised for errors in the simulated fabric (topology, switches, TCAM)."""
+
+
+class TcamError(FabricError):
+    """Raised for invalid operations on a simulated TCAM table."""
+
+
+class DeploymentError(ReproError):
+    """Raised when the controller cannot compile or distribute a policy."""
+
+
+class VerificationError(ReproError):
+    """Raised by the L-T equivalence checker for malformed inputs."""
+
+
+class RiskModelError(ReproError):
+    """Raised for inconsistent risk-model construction or augmentation."""
+
+
+class LocalizationError(ReproError):
+    """Raised when a fault-localization algorithm receives invalid input."""
+
+
+class FaultInjectionError(ReproError):
+    """Raised when a fault scenario cannot be applied to the fabric."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a synthetic workload/profile cannot be generated."""

@@ -1,0 +1,55 @@
+"""Evaluation harness: one module per table/figure of the paper (§VI)."""
+
+from .accuracy import (
+    AccuracyCell,
+    AccuracySweepResult,
+    format_accuracy_table,
+    run_accuracy_sweep,
+)
+from .common import DeployedWorkload, prepare_workload, restore_tcam, snapshot_tcam
+from .figure3 import Figure3Series, format_figure3, run_figure3
+from .figure7 import (
+    Figure7Result,
+    GammaSample,
+    SIMULATION_BINS,
+    TESTBED_BINS,
+    format_figure7,
+    run_figure7_simulation,
+    run_figure7_testbed,
+    run_suspect_reduction,
+)
+from .figure8 import format_figure8, run_figure8
+from .figure9 import format_figure9, run_figure9
+from .figure10 import format_figure10, run_figure10
+from .scalability import ScalabilityPoint, format_scalability, run_scalability
+
+__all__ = [
+    "AccuracyCell",
+    "AccuracySweepResult",
+    "DeployedWorkload",
+    "Figure3Series",
+    "Figure7Result",
+    "GammaSample",
+    "SIMULATION_BINS",
+    "ScalabilityPoint",
+    "TESTBED_BINS",
+    "format_accuracy_table",
+    "format_figure10",
+    "format_figure3",
+    "format_figure7",
+    "format_figure8",
+    "format_figure9",
+    "format_scalability",
+    "prepare_workload",
+    "restore_tcam",
+    "run_accuracy_sweep",
+    "run_figure10",
+    "run_figure3",
+    "run_figure7_simulation",
+    "run_figure7_testbed",
+    "run_figure8",
+    "run_figure9",
+    "run_scalability",
+    "run_suspect_reduction",
+    "snapshot_tcam",
+]

@@ -1,0 +1,191 @@
+"""Shared accuracy-sweep machinery for Figures 8, 9 and 10.
+
+A sweep varies the number of simultaneous object faults (1..10 in the paper)
+and, for every fault count, runs many independent trials.  Each trial
+injects the faults into a freshly restored deployment, runs the L-T check,
+augments the appropriate risk model and scores every localizer (SCOUT and
+SCORE at one or more thresholds) against the injected ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional, Sequence
+
+from ..core.metrics import accuracy
+from ..faults.injector import FaultInjector
+from ..risk.augment import augment_controller_model, augment_switch_model
+from .common import DeployedWorkload, make_localizers, mean_and_stdev
+
+__all__ = ["AccuracyCell", "AccuracySweepResult", "run_accuracy_sweep", "format_accuracy_table"]
+
+Scope = Literal["switch", "controller"]
+
+
+@dataclass(frozen=True)
+class AccuracyCell:
+    """One (algorithm, fault count) cell of an accuracy figure."""
+
+    algorithm: str
+    num_faults: int
+    precision_mean: float
+    precision_std: float
+    recall_mean: float
+    recall_std: float
+    f1_mean: float
+    runs: int
+
+
+@dataclass
+class AccuracySweepResult:
+    """All cells of one accuracy sweep, plus the sweep's configuration."""
+
+    scope: Scope
+    profile_name: str
+    runs: int
+    cells: List[AccuracyCell] = field(default_factory=list)
+
+    def cell(self, algorithm: str, num_faults: int) -> Optional[AccuracyCell]:
+        for cell in self.cells:
+            if cell.algorithm == algorithm and cell.num_faults == num_faults:
+                return cell
+        return None
+
+    def algorithms(self) -> List[str]:
+        return sorted({cell.algorithm for cell in self.cells})
+
+    def fault_counts(self) -> List[int]:
+        return sorted({cell.num_faults for cell in self.cells})
+
+    def series(self, algorithm: str, metric: str = "recall_mean") -> List[float]:
+        """One plotted line: the metric for ``algorithm`` across fault counts."""
+        values = []
+        for count in self.fault_counts():
+            cell = self.cell(algorithm, count)
+            values.append(getattr(cell, metric) if cell is not None else float("nan"))
+        return values
+
+
+def run_accuracy_sweep(
+    deployed: DeployedWorkload,
+    scope: Scope = "switch",
+    fault_counts: Sequence[int] = tuple(range(1, 11)),
+    runs: int = 30,
+    seed: int = 1,
+    score_thresholds: Sequence[float] = (1.0, 0.6),
+    change_window: int = 50,
+) -> AccuracySweepResult:
+    """Run the full sweep on an already deployed workload."""
+    controller = deployed.controller
+    localizers = make_localizers(
+        controller, score_thresholds=score_thresholds, change_window=change_window
+    )
+    rng = random.Random(seed)
+
+    base_controller_model = None
+    if scope == "controller":
+        base_controller_model = deployed.base_controller_model(include_switch_risks=False)
+    switch_model_cache: Dict[str, object] = {}
+
+    # Per (algorithm, count) lists of precision/recall/f1 samples.
+    samples: Dict[tuple, Dict[str, List[float]]] = {}
+
+    for num_faults in fault_counts:
+        for _ in range(runs):
+            deployed.restore()
+            # Age out the previous trial's change records so SCOUT's recency
+            # window only sees this trial's injections.
+            controller.clock.tick(change_window + 1)
+            injector = FaultInjector(controller, rng=random.Random(rng.randint(0, 2**31)))
+
+            if scope == "switch":
+                switch_uid = _pick_switch(deployed, injector, num_faults, rng)
+                if switch_uid is None:
+                    continue
+                faults = injector.inject_random_faults(
+                    num_faults, switches=[switch_uid], strict=False
+                )
+                if not faults:
+                    continue
+                missing = deployed.missing_rules(switches=[switch_uid])
+                if switch_uid not in switch_model_cache:
+                    switch_model_cache[switch_uid] = deployed.base_switch_model(switch_uid)
+                model = switch_model_cache[switch_uid].copy()
+                augment_switch_model(model, missing.get(switch_uid, []))
+            else:
+                faults = injector.inject_random_faults(num_faults, strict=False)
+                if not faults:
+                    continue
+                missing = deployed.missing_rules()
+                model = base_controller_model.copy()
+                augment_controller_model(model, missing, include_switch_risks=False)
+
+            ground_truth = injector.ground_truth()
+            for name, localizer in localizers.items():
+                hypothesis = localizer.localize(model)
+                result = accuracy(ground_truth, hypothesis.objects())
+                bucket = samples.setdefault((name, num_faults), {"p": [], "r": [], "f": []})
+                bucket["p"].append(result.precision)
+                bucket["r"].append(result.recall)
+                bucket["f"].append(result.f1)
+
+    deployed.restore()
+    sweep = AccuracySweepResult(scope=scope, profile_name=deployed.workload.profile.name, runs=runs)
+    for (name, num_faults), bucket in sorted(samples.items()):
+        p_mean, p_std = mean_and_stdev(bucket["p"])
+        r_mean, r_std = mean_and_stdev(bucket["r"])
+        f_mean, _ = mean_and_stdev(bucket["f"])
+        sweep.cells.append(
+            AccuracyCell(
+                algorithm=name,
+                num_faults=num_faults,
+                precision_mean=p_mean,
+                precision_std=p_std,
+                recall_mean=r_mean,
+                recall_std=r_std,
+                f1_mean=f_mean,
+                runs=len(bucket["p"]),
+            )
+        )
+    return sweep
+
+
+def _pick_switch(
+    deployed: DeployedWorkload,
+    injector: FaultInjector,
+    num_faults: int,
+    rng: random.Random,
+) -> Optional[str]:
+    """A random leaf with enough faultable objects for this trial."""
+    candidates = []
+    for switch_uid in deployed.fabric.leaf_uids():
+        if len(injector.faultable_objects(switches=[switch_uid])) >= num_faults:
+            candidates.append(switch_uid)
+    if not candidates:
+        return None
+    return rng.choice(candidates)
+
+
+def format_accuracy_table(sweep: AccuracySweepResult, metric: str = "recall") -> str:
+    """Render one sweep as the rows of the corresponding paper figure.
+
+    ``metric`` is ``"precision"`` or ``"recall"`` (Figures 8-10 each have one
+    panel per metric).
+    """
+    metric_attr = f"{metric}_mean"
+    algorithms = sweep.algorithms()
+    header = f"{'#faults':>8} | " + " | ".join(f"{name:>10}" for name in algorithms)
+    lines = [
+        f"{metric} on the {sweep.scope} risk model "
+        f"({sweep.profile_name}, {sweep.runs} runs/point)",
+        header,
+        "-" * len(header),
+    ]
+    for count in sweep.fault_counts():
+        cells = [sweep.cell(name, count) for name in algorithms]
+        values = " | ".join(
+            f"{getattr(cell, metric_attr):>10.3f}" if cell else f"{'n/a':>10}" for cell in cells
+        )
+        lines.append(f"{count:>8} | {values}")
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Experiment E5 — Figure 9: accuracy on the controller risk model.
+
+Same sweep as Figure 8 but the faults are injected across switches (an
+object's rules disappear wherever they were deployed) and localization runs
+on the network-wide controller risk model built from (switch, EPG pair)
+triplets.  The paper observes the same trends as on the switch risk model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..workloads.profiles import WorkloadProfile, simulation_profile
+from .accuracy import AccuracySweepResult, format_accuracy_table, run_accuracy_sweep
+from .common import DeployedWorkload, prepare_workload
+
+__all__ = ["run_figure9", "format_figure9"]
+
+
+def run_figure9(
+    profile: Optional[WorkloadProfile] = None,
+    fault_counts: Sequence[int] = tuple(range(1, 11)),
+    runs: int = 30,
+    seed: int = 9,
+    deployed: Optional[DeployedWorkload] = None,
+) -> AccuracySweepResult:
+    """Run the controller-risk-model accuracy sweep (SCOUT vs SCORE-1 vs SCORE-0.6)."""
+    deployed = deployed or prepare_workload(profile or simulation_profile())
+    return run_accuracy_sweep(
+        deployed,
+        scope="controller",
+        fault_counts=fault_counts,
+        runs=runs,
+        seed=seed,
+        score_thresholds=(1.0, 0.6),
+    )
+
+
+def format_figure9(sweep: AccuracySweepResult) -> str:
+    """Both panels of Figure 9: precision and recall versus fault count."""
+    return (
+        format_accuracy_table(sweep, metric="precision")
+        + "\n\n"
+        + format_accuracy_table(sweep, metric="recall")
+    )

@@ -1,0 +1,21 @@
+"""Simulated fabric substrate: topology, switches, switch agents and TCAM."""
+
+from .fabric import Fabric
+from .faultlog import FaultCode, FaultLogBook, FaultRecord
+from .switch import AgentState, Switch, SwitchAgent
+from .tcam import InstallOutcome, TcamTable
+from .topology import LeafSpineTopology, SwitchRole
+
+__all__ = [
+    "AgentState",
+    "Fabric",
+    "FaultCode",
+    "FaultLogBook",
+    "FaultRecord",
+    "InstallOutcome",
+    "LeafSpineTopology",
+    "Switch",
+    "SwitchAgent",
+    "SwitchRole",
+    "TcamTable",
+]

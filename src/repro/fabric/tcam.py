@@ -1,0 +1,205 @@
+"""Simulated TCAM table.
+
+The ternary content-addressable memory of a leaf switch stores the rendered
+access-control rules.  The simulation models the failure modes the paper
+lists in §II-B:
+
+* **finite capacity** — installs beyond capacity are rejected (TCAM
+  overflow), or, if the local eviction mechanism is enabled, an old rule is
+  silently evicted to make room (which "even worsens the situation because
+  the controller may be unaware of the rules deleted from TCAM");
+* **corruption** — bit errors rewrite a match field of an installed rule so
+  the deployed rule no longer matches the intended one;
+* **partial updates** — callers (the switch agent) may stop applying a rule
+  diff mid-way, leaving the table in a mixed state.
+
+The table is keyed by the rule's match key; priorities are implicit (all
+compiled rules are non-overlapping exact matches plus the implicit deny).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import random
+
+from ..exceptions import TcamError
+from ..rules import MatchKey, TcamRule
+
+__all__ = ["InstallOutcome", "TcamTable"]
+
+
+class InstallOutcome(str, enum.Enum):
+    """Result of attempting to install one rule."""
+
+    INSTALLED = "installed"
+    ALREADY_PRESENT = "already-present"
+    REJECTED_FULL = "rejected-full"
+    INSTALLED_WITH_EVICTION = "installed-with-eviction"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class TcamTable:
+    """A bounded rule store with optional eviction and fault hooks."""
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        evict_on_overflow: bool = False,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise TcamError(f"TCAM capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.evict_on_overflow = evict_on_overflow
+        self._entries: Dict[MatchKey, TcamRule] = {}
+        # Counters exposed for tests and the experiments.
+        self.install_attempts = 0
+        self.rejected_installs = 0
+        self.evictions = 0
+        self.corrupted_entries = 0
+
+    # ------------------------------------------------------------------ #
+    # Capacity and inspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: MatchKey) -> bool:
+        return key in self._entries
+
+    def rules(self) -> List[TcamRule]:
+        """Installed rules in installation order."""
+        return list(self._entries.values())
+
+    def match_keys(self) -> List[MatchKey]:
+        return list(self._entries.keys())
+
+    def utilization(self) -> float:
+        """Fraction of capacity in use (0.0 when capacity is unlimited and empty)."""
+        if self.capacity is None:
+            return 0.0 if not self._entries else 1.0 * len(self._entries) / max(len(self._entries), 1)
+        return len(self._entries) / self.capacity
+
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._entries) >= self.capacity
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def install(self, rule: TcamRule) -> Tuple[InstallOutcome, Optional[TcamRule]]:
+        """Install ``rule``.
+
+        Returns the outcome and, when an eviction occurred, the evicted rule
+        so the switch can log it.
+        """
+        self.install_attempts += 1
+        key = rule.match_key()
+        if key in self._entries:
+            # Refresh provenance but count as already present.
+            self._entries[key] = rule
+            return InstallOutcome.ALREADY_PRESENT, None
+        if self.is_full():
+            if not self.evict_on_overflow:
+                self.rejected_installs += 1
+                return InstallOutcome.REJECTED_FULL, None
+            evicted_key = next(iter(self._entries))
+            evicted = self._entries.pop(evicted_key)
+            self.evictions += 1
+            self._entries[key] = rule
+            return InstallOutcome.INSTALLED_WITH_EVICTION, evicted
+        self._entries[key] = rule
+        return InstallOutcome.INSTALLED, None
+
+    def remove(self, key: MatchKey) -> Optional[TcamRule]:
+        """Remove the rule with ``key``; returns it or ``None`` if absent."""
+        return self._entries.pop(key, None)
+
+    def remove_rule(self, rule: TcamRule) -> Optional[TcamRule]:
+        return self.remove(rule.match_key())
+
+    def remove_where(self, predicate: Callable[[TcamRule], bool]) -> List[TcamRule]:
+        """Remove every installed rule satisfying ``predicate``; returns them."""
+        removed = [rule for rule in self._entries.values() if predicate(rule)]
+        for rule in removed:
+            self._entries.pop(rule.match_key(), None)
+        return removed
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    # Hardware faults
+    # ------------------------------------------------------------------ #
+    def corrupt(
+        self,
+        rng: random.Random,
+        count: int = 1,
+        fields: Iterable[str] = ("port", "vrf_scope", "dst_epg"),
+    ) -> List[Tuple[TcamRule, TcamRule]]:
+        """Corrupt up to ``count`` installed rules by rewriting one match field.
+
+        A corrupted rule keeps its provenance (the hardware does not know the
+        rule is wrong) but its match no longer agrees with the logical model,
+        so the equivalence checker will report the original rule as missing.
+        Returns the list of ``(original, corrupted)`` pairs.
+        """
+        field_choices = list(fields)
+        if not field_choices:
+            raise TcamError("corrupt() needs at least one candidate field")
+        victims = list(self._entries.values())
+        if not victims:
+            return []
+        rng.shuffle(victims)
+        corrupted: list[Tuple[TcamRule, TcamRule]] = []
+        for original in victims[: max(0, count)]:
+            field_name = rng.choice(field_choices)
+            replacement = self._flip_field(original, field_name, rng)
+            self._entries.pop(original.match_key(), None)
+            # The corrupted entry may collide with another installed rule;
+            # in that case the original simply disappears, which is still a
+            # valid corruption outcome.
+            self._entries.setdefault(replacement.match_key(), replacement)
+            self.corrupted_entries += 1
+            corrupted.append((original, replacement))
+        return corrupted
+
+    @staticmethod
+    def _flip_field(rule: TcamRule, field_name: str, rng: random.Random) -> TcamRule:
+        """Return a copy of ``rule`` with one match field rewritten."""
+        values = {
+            "vrf_scope": rule.vrf_scope,
+            "src_epg": rule.src_epg,
+            "dst_epg": rule.dst_epg,
+            "protocol": rule.protocol,
+            "port": rule.port,
+            "action": rule.action,
+        }
+        if field_name == "port":
+            original_port = rule.port if rule.port is not None else 0
+            values["port"] = (original_port + rng.randint(1, 1000)) % 65536
+        elif field_name == "vrf_scope":
+            values["vrf_scope"] = rule.vrf_scope + rng.randint(1, 50)
+        elif field_name == "src_epg":
+            values["src_epg"] = rule.src_epg + rng.randint(1, 50)
+        elif field_name == "dst_epg":
+            values["dst_epg"] = rule.dst_epg + rng.randint(1, 50)
+        elif field_name == "action":
+            values["action"] = "deny" if rule.action == "allow" else "allow"
+        else:
+            raise TcamError(f"cannot corrupt unknown field {field_name!r}")
+        return TcamRule(
+            vrf_scope=values["vrf_scope"],
+            src_epg=values["src_epg"],
+            dst_epg=values["dst_epg"],
+            protocol=values["protocol"],
+            port=values["port"],
+            action=values["action"],
+            vrf_uid=rule.vrf_uid,
+            src_epg_uid=rule.src_epg_uid,
+            dst_epg_uid=rule.dst_epg_uid,
+            contract_uid=rule.contract_uid,
+            filter_uid=rule.filter_uid,
+        )

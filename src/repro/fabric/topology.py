@@ -1,0 +1,144 @@
+"""Leaf-spine fabric topology.
+
+The paper's setting is an ACI-style data-center fabric: leaf switches hold
+the policy TCAM and host endpoints, spine switches interconnect the leaves.
+Policy enforcement happens at the leaves, so the risk models and the rule
+deployment only involve leaf switches; the topology still models spines and
+links because the scalability experiment and the use-case scenarios reason
+about fabric size and reachability.
+
+The topology is a thin, validated wrapper around a ``networkx.Graph``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional
+
+import networkx as nx
+
+from ..exceptions import FabricError
+
+__all__ = ["SwitchRole", "LeafSpineTopology"]
+
+
+class SwitchRole(str, enum.Enum):
+    """Role of a switch inside the fabric."""
+
+    LEAF = "leaf"
+    SPINE = "spine"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class LeafSpineTopology:
+    """A two-tier Clos (leaf-spine) topology."""
+
+    def __init__(self) -> None:
+        self.graph = nx.Graph()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_switch(self, uid: str, role: SwitchRole) -> str:
+        if uid in self.graph:
+            raise FabricError(f"switch {uid!r} already present in topology")
+        self.graph.add_node(uid, role=role.value)
+        return uid
+
+    def add_leaf(self, uid: str) -> str:
+        return self.add_switch(uid, SwitchRole.LEAF)
+
+    def add_spine(self, uid: str) -> str:
+        return self.add_switch(uid, SwitchRole.SPINE)
+
+    def add_link(self, a: str, b: str, capacity_gbps: float = 40.0) -> None:
+        for node in (a, b):
+            if node not in self.graph:
+                raise FabricError(f"cannot link unknown switch {node!r}")
+        role_a = self.graph.nodes[a]["role"]
+        role_b = self.graph.nodes[b]["role"]
+        if role_a == role_b:
+            raise FabricError(
+                f"leaf-spine topology only links leaves to spines, got {role_a}-{role_b}"
+            )
+        self.graph.add_edge(a, b, capacity_gbps=capacity_gbps)
+
+    @classmethod
+    def build(
+        cls,
+        num_leaves: int,
+        num_spines: int = 2,
+        leaf_prefix: str = "leaf",
+        spine_prefix: str = "spine",
+        link_capacity_gbps: float = 40.0,
+    ) -> "LeafSpineTopology":
+        """Build a full-mesh leaf-spine fabric (every leaf to every spine)."""
+        if num_leaves <= 0:
+            raise FabricError(f"a fabric needs at least one leaf, got {num_leaves}")
+        if num_spines <= 0:
+            raise FabricError(f"a fabric needs at least one spine, got {num_spines}")
+        topo = cls()
+        spines = [topo.add_spine(f"{spine_prefix}-{i + 1}") for i in range(num_spines)]
+        for i in range(num_leaves):
+            leaf = topo.add_leaf(f"{leaf_prefix}-{i + 1}")
+            for spine in spines:
+                topo.add_link(leaf, spine, capacity_gbps=link_capacity_gbps)
+        return topo
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def _by_role(self, role: SwitchRole) -> List[str]:
+        return sorted(
+            node for node, data in self.graph.nodes(data=True) if data["role"] == role.value
+        )
+
+    def leaves(self) -> List[str]:
+        return self._by_role(SwitchRole.LEAF)
+
+    def spines(self) -> List[str]:
+        return self._by_role(SwitchRole.SPINE)
+
+    def role_of(self, uid: str) -> SwitchRole:
+        if uid not in self.graph:
+            raise FabricError(f"unknown switch {uid!r}")
+        return SwitchRole(self.graph.nodes[uid]["role"])
+
+    def neighbors(self, uid: str) -> List[str]:
+        if uid not in self.graph:
+            raise FabricError(f"unknown switch {uid!r}")
+        return sorted(self.graph.neighbors(uid))
+
+    def path(self, src: str, dst: str) -> List[str]:
+        """Shortest switch path between two leaves (via a spine)."""
+        try:
+            return nx.shortest_path(self.graph, src, dst)
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise FabricError(f"no path between {src!r} and {dst!r}") from exc
+
+    def is_connected(self) -> bool:
+        if self.graph.number_of_nodes() == 0:
+            return False
+        return nx.is_connected(self.graph)
+
+    def validate(self) -> None:
+        """Raise :class:`FabricError` if the fabric is not a usable leaf-spine."""
+        if not self.leaves():
+            raise FabricError("topology has no leaf switches")
+        if not self.spines():
+            raise FabricError("topology has no spine switches")
+        if not self.is_connected():
+            raise FabricError("topology is not connected")
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "leaves": len(self.leaves()),
+            "spines": len(self.spines()),
+            "links": self.graph.number_of_edges(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.summary()
+        return f"LeafSpineTopology(leaves={s['leaves']}, spines={s['spines']}, links={s['links']})"

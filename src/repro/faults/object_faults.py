@@ -1,0 +1,107 @@
+"""Injection of full and partial object faults into deployed TCAM state.
+
+These functions operate on the *deployed* rules (the T side): they delete
+rules whose provenance references the target object, exactly as the paper's
+fault model prescribes ("all/some TCAM rules associated with an object are
+missing").  They never touch the desired state, so the L-T equivalence check
+afterwards reports the deleted rules as missing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..exceptions import FaultInjectionError
+from ..fabric.fabric import Fabric
+from ..rules import TcamRule
+from .base import FaultKind, InjectedFault
+
+__all__ = ["rules_for_object", "inject_full_object_fault", "inject_partial_object_fault"]
+
+
+def rules_for_object(
+    fabric: Fabric,
+    object_uid: str,
+    switches: Optional[Sequence[str]] = None,
+) -> Dict[str, List[TcamRule]]:
+    """Deployed rules whose provenance references ``object_uid``, per switch."""
+    targets = switches if switches is not None else fabric.leaf_uids()
+    found: Dict[str, List[TcamRule]] = {}
+    for switch_uid in targets:
+        switch = fabric.switch(switch_uid)
+        matching = [rule for rule in switch.deployed_rules() if object_uid in rule.objects()]
+        if matching:
+            found[switch_uid] = matching
+    return found
+
+
+def inject_full_object_fault(
+    fabric: Fabric,
+    object_uid: str,
+    switches: Optional[Sequence[str]] = None,
+    injected_at: int = 0,
+) -> InjectedFault:
+    """Remove *every* deployed rule associated with ``object_uid``.
+
+    ``switches`` restricts the blast radius (a switch-local fault); the
+    default removes the object's rules fabric-wide, which models a
+    controller-level fault such as a bad object pushed to every switch.
+    """
+    per_switch = rules_for_object(fabric, object_uid, switches)
+    if not per_switch:
+        raise FaultInjectionError(
+            f"object {object_uid!r} has no deployed rules on the selected switches"
+        )
+    removed: Dict[str, List[TcamRule]] = {}
+    for switch_uid, rules in per_switch.items():
+        tcam = fabric.switch(switch_uid).tcam
+        removed[switch_uid] = [rule for rule in rules if tcam.remove_rule(rule) is not None]
+    return InjectedFault(
+        object_uid=object_uid,
+        kind=FaultKind.FULL,
+        removed_rules=removed,
+        injected_at=injected_at,
+    )
+
+
+def inject_partial_object_fault(
+    fabric: Fabric,
+    object_uid: str,
+    rng: random.Random,
+    fraction: float = 0.5,
+    switches: Optional[Sequence[str]] = None,
+    injected_at: int = 0,
+) -> InjectedFault:
+    """Remove a random subset of the rules associated with ``object_uid``.
+
+    At least one rule is removed and, whenever the object has more than one
+    deployed rule, at least one rule is kept so the fault is genuinely
+    partial (the object's hit ratio stays below 1 — the regime where the
+    SCORE baseline fails).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise FaultInjectionError(f"fraction must be in (0, 1], got {fraction}")
+    per_switch = rules_for_object(fabric, object_uid, switches)
+    if not per_switch:
+        raise FaultInjectionError(
+            f"object {object_uid!r} has no deployed rules on the selected switches"
+        )
+    all_rules = [(switch_uid, rule) for switch_uid, rules in per_switch.items() for rule in rules]
+    rng.shuffle(all_rules)
+    target_count = max(1, int(round(len(all_rules) * fraction)))
+    if len(all_rules) > 1:
+        target_count = min(target_count, len(all_rules) - 1)
+    victims = all_rules[:target_count]
+
+    removed: Dict[str, List[TcamRule]] = {}
+    for switch_uid, rule in victims:
+        tcam = fabric.switch(switch_uid).tcam
+        if tcam.remove_rule(rule) is not None:
+            removed.setdefault(switch_uid, []).append(rule)
+    return InjectedFault(
+        object_uid=object_uid,
+        kind=FaultKind.PARTIAL,
+        removed_rules=removed,
+        injected_at=injected_at,
+    )

@@ -1,0 +1,241 @@
+"""Policy dependency graph and cached dependency index.
+
+Two complementary views of the same information:
+
+* :class:`PolicyIndex` — flat, cached maps between EPG pairs, policy objects
+  and switches.  The risk models, the rule compiler and the experiments all
+  go through the index because the naive per-query traversals in
+  :class:`~repro.policy.tenant.NetworkPolicy` become too slow at the paper's
+  production-cluster scale (hundreds of EPGs, tens of thousands of pairs).
+* :func:`build_dependency_graph` — a ``networkx`` directed graph of object
+  dependencies (endpoint → EPG → VRF, EPG → contract → filter) used for
+  visualisation, reachability queries and the Figure 3 study.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Set
+
+import networkx as nx
+
+from .objects import Contract, Endpoint, Epg, EpgPair, Filter, ObjectType, Vrf
+from .tenant import NetworkPolicy
+
+__all__ = ["PolicyIndex", "build_dependency_graph", "epg_pairs_per_object"]
+
+
+class PolicyIndex:
+    """Precomputed dependency maps over a :class:`NetworkPolicy`.
+
+    The index is a read-only snapshot: if the policy is mutated (e.g. the
+    controller applies a change), build a fresh index.  Construction is
+    linear in the number of contract relations plus the number of
+    (pair, shared-risk) edges, which is exactly the size of the risk models
+    built from it.
+    """
+
+    def __init__(self, policy: NetworkPolicy):
+        self.policy = policy
+        self._epgs: Dict[str, Epg] = {epg.uid: epg for epg in policy.epgs()}
+        self._contracts: Dict[str, Contract] = {c.uid: c for c in policy.contracts()}
+        self._filters: Dict[str, Filter] = {f.uid: f for f in policy.filters()}
+        self._vrfs: Dict[str, Vrf] = {v.uid: v for v in policy.vrfs()}
+        self._endpoints: Dict[str, Endpoint] = {e.uid: e for e in policy.endpoints()}
+
+        self._pairs: List[EpgPair] = []
+        self._pair_contracts: Dict[EpgPair, List[str]] = {}
+        self._pair_risks: Dict[EpgPair, List[str]] = {}
+        self._object_pairs: Dict[str, Set[EpgPair]] = defaultdict(set)
+        self._epg_switches: Dict[str, List[str]] = {}
+        self._switch_pairs: Dict[str, List[EpgPair]] = defaultdict(list)
+        self._pair_switches: Dict[EpgPair, List[str]] = {}
+
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        providers: Dict[str, Set[str]] = defaultdict(set)
+        consumers: Dict[str, Set[str]] = defaultdict(set)
+        for epg in self._epgs.values():
+            for contract_uid in epg.provides:
+                providers[contract_uid].add(epg.uid)
+            for contract_uid in epg.consumes:
+                consumers[contract_uid].add(epg.uid)
+
+        pair_contracts: Dict[EpgPair, Set[str]] = defaultdict(set)
+        for contract_uid in self._contracts:
+            for provider in providers.get(contract_uid, ()):
+                for consumer in consumers.get(contract_uid, ()):
+                    if provider == consumer:
+                        continue
+                    # Pairs only form inside one VRF: the VRF is the L3 scope,
+                    # so cross-VRF provide/consume relations (possible when a
+                    # contract is reused by several tenant tiers) whitelist
+                    # nothing and are excluded everywhere consistently (see
+                    # pairs_from_epgs and SwitchAgent.desired_rules).
+                    if self._epgs[provider].vrf_uid != self._epgs[consumer].vrf_uid:
+                        continue
+                    pair_contracts[EpgPair(provider, consumer)].add(contract_uid)
+
+        self._pairs = sorted(pair_contracts)
+        self._pair_contracts = {
+            pair: sorted(contracts) for pair, contracts in pair_contracts.items()
+        }
+
+        for pair, contract_uids in self._pair_contracts.items():
+            risks: list[str] = []
+            seen: set[str] = set()
+
+            def _add(uid: str) -> None:
+                if uid and uid not in seen:
+                    seen.add(uid)
+                    risks.append(uid)
+
+            epg_a = self._epgs[pair.first]
+            epg_b = self._epgs[pair.second]
+            _add(epg_a.vrf_uid)
+            _add(epg_b.vrf_uid)
+            _add(epg_a.uid)
+            _add(epg_b.uid)
+            for contract_uid in contract_uids:
+                _add(contract_uid)
+                contract = self._contracts[contract_uid]
+                for filter_uid in contract.filter_uids:
+                    if filter_uid in self._filters:
+                        _add(filter_uid)
+            self._pair_risks[pair] = risks
+            for uid in risks:
+                self._object_pairs[uid].add(pair)
+
+        epg_switches: Dict[str, Set[str]] = defaultdict(set)
+        for endpoint in self._endpoints.values():
+            if endpoint.switch_uid is not None:
+                epg_switches[endpoint.epg_uid].add(endpoint.switch_uid)
+        self._epg_switches = {uid: sorted(s) for uid, s in epg_switches.items()}
+
+        for pair in self._pairs:
+            switches = set(self._epg_switches.get(pair.first, ()))
+            switches.update(self._epg_switches.get(pair.second, ()))
+            switch_list = sorted(switches)
+            self._pair_switches[pair] = switch_list
+            for switch_uid in switch_list:
+                self._switch_pairs[switch_uid].append(pair)
+                # A switch hosting either EPG of a pair is itself a shared
+                # risk for that pair (Fig. 3 counts switches as objects).
+                self._object_pairs[switch_uid].add(pair)
+
+    # ------------------------------------------------------------------ #
+    # Lookup API
+    # ------------------------------------------------------------------ #
+    @property
+    def pairs(self) -> List[EpgPair]:
+        """All EPG pairs implied by the policy, sorted."""
+        return list(self._pairs)
+
+    def contracts_for_pair(self, pair: EpgPair) -> List[str]:
+        return list(self._pair_contracts.get(pair, ()))
+
+    def risks_for_pair(self, pair: EpgPair) -> List[str]:
+        """Policy-object uids the pair relies on (VRF, EPGs, contracts, filters)."""
+        return list(self._pair_risks.get(pair, ()))
+
+    def pairs_for_object(self, uid: str) -> List[EpgPair]:
+        """EPG pairs depending on object ``uid`` (``G_i`` in §IV-B)."""
+        return sorted(self._object_pairs.get(uid, ()))
+
+    def switches_for_epg(self, epg_uid: str) -> List[str]:
+        return list(self._epg_switches.get(epg_uid, ()))
+
+    def switches_for_pair(self, pair: EpgPair) -> List[str]:
+        return list(self._pair_switches.get(pair, ()))
+
+    def pairs_on_switch(self, switch_uid: str) -> List[EpgPair]:
+        return list(self._switch_pairs.get(switch_uid, ()))
+
+    def all_switches(self) -> List[str]:
+        return sorted(self._switch_pairs)
+
+    def epg(self, uid: str) -> Epg:
+        return self._epgs[uid]
+
+    def contract(self, uid: str) -> Contract:
+        return self._contracts[uid]
+
+    def filter(self, uid: str) -> Filter:
+        return self._filters[uid]
+
+    def vrf(self, uid: str) -> Vrf:
+        return self._vrfs[uid]
+
+    def object_types(self) -> Mapping[str, ObjectType]:
+        """Map every known object uid (plus switches) to its object type."""
+        types: Dict[str, ObjectType] = {}
+        for uid in self._vrfs:
+            types[uid] = ObjectType.VRF
+        for uid in self._epgs:
+            types[uid] = ObjectType.EPG
+        for uid in self._contracts:
+            types[uid] = ObjectType.CONTRACT
+        for uid in self._filters:
+            types[uid] = ObjectType.FILTER
+        for switch_uid in self._switch_pairs:
+            types[switch_uid] = ObjectType.SWITCH
+        return types
+
+
+def build_dependency_graph(policy: NetworkPolicy) -> nx.DiGraph:
+    """Build a directed dependency graph of the policy.
+
+    Edges point from the dependent object to the object it relies on:
+    endpoint → EPG, EPG → VRF, EPG → contract (provides/consumes annotated on
+    the edge), contract → filter.  Node attributes carry ``object_type`` and
+    ``name`` so the graph can be exported (e.g. to GraphML) for inspection.
+    """
+    graph = nx.DiGraph()
+    for obj in policy.objects():
+        graph.add_node(obj.uid, object_type=obj.object_type.value, name=obj.name)
+
+    for endpoint in policy.endpoints():
+        if endpoint.epg_uid in policy:
+            graph.add_edge(endpoint.uid, endpoint.epg_uid, relation="member-of")
+    for epg in policy.epgs():
+        if epg.vrf_uid in policy:
+            graph.add_edge(epg.uid, epg.vrf_uid, relation="scoped-by")
+        for contract_uid in epg.provides:
+            if contract_uid in policy:
+                graph.add_edge(epg.uid, contract_uid, relation="provides")
+        for contract_uid in epg.consumes:
+            if contract_uid in policy:
+                graph.add_edge(epg.uid, contract_uid, relation="consumes")
+    for contract in policy.contracts():
+        for filter_uid in contract.filter_uids:
+            if filter_uid in policy:
+                graph.add_edge(contract.uid, filter_uid, relation="uses-filter")
+    return graph
+
+
+def epg_pairs_per_object(
+    policy: NetworkPolicy, index: PolicyIndex | None = None
+) -> Dict[ObjectType, Dict[str, int]]:
+    """Count, per object, how many EPG pairs depend on it (Figure 3 data).
+
+    Returns ``{object_type: {object_uid: pair_count}}`` covering VRFs, EPGs,
+    contracts, filters and switches, mirroring the five series of the paper's
+    Figure 3 CDF.
+    """
+    index = index or PolicyIndex(policy)
+    result: Dict[ObjectType, Dict[str, int]] = {
+        ObjectType.VRF: {},
+        ObjectType.EPG: {},
+        ObjectType.CONTRACT: {},
+        ObjectType.FILTER: {},
+        ObjectType.SWITCH: {},
+    }
+    types = index.object_types()
+    for uid, object_type in types.items():
+        if object_type in result:
+            result[object_type][uid] = len(index.pairs_for_object(uid))
+    return result

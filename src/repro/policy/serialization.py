@@ -1,0 +1,126 @@
+"""JSON (de)serialization of network policies.
+
+Policies are exchanged as plain dictionaries so they can be stored alongside
+experiment results, diffed between runs, and loaded back without pickling.
+The format is stable and versioned (``"format": 1``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..exceptions import PolicyError
+from .objects import Contract, Endpoint, Epg, Filter, FilterEntry, Vrf
+from .tenant import NetworkPolicy, Tenant
+
+__all__ = ["policy_to_dict", "policy_from_dict", "policy_to_json", "policy_from_json"]
+
+_FORMAT_VERSION = 1
+
+
+def policy_to_dict(policy: NetworkPolicy) -> Dict[str, Any]:
+    """Convert a policy into a JSON-serialisable dictionary."""
+    tenants = []
+    for tenant in policy.tenants.values():
+        tenants.append(
+            {
+                "name": tenant.name,
+                "vrfs": [
+                    {"uid": v.uid, "name": v.name, "scope_id": v.scope_id}
+                    for v in tenant.vrfs.values()
+                ],
+                "epgs": [
+                    {
+                        "uid": e.uid,
+                        "name": e.name,
+                        "vrf_uid": e.vrf_uid,
+                        "epg_id": e.epg_id,
+                        "provides": sorted(e.provides),
+                        "consumes": sorted(e.consumes),
+                    }
+                    for e in tenant.epgs.values()
+                ],
+                "contracts": [
+                    {"uid": c.uid, "name": c.name, "filter_uids": list(c.filter_uids)}
+                    for c in tenant.contracts.values()
+                ],
+                "filters": [
+                    {
+                        "uid": f.uid,
+                        "name": f.name,
+                        "entries": [
+                            {"protocol": entry.protocol, "port": entry.port}
+                            for entry in f.entries
+                        ],
+                    }
+                    for f in tenant.filters.values()
+                ],
+                "endpoints": [
+                    {
+                        "uid": ep.uid,
+                        "name": ep.name,
+                        "epg_uid": ep.epg_uid,
+                        "ip": ep.ip,
+                        "mac": ep.mac,
+                        "switch_uid": ep.switch_uid,
+                    }
+                    for ep in tenant.endpoints.values()
+                ],
+            }
+        )
+    return {"format": _FORMAT_VERSION, "tenants": tenants}
+
+
+def policy_from_dict(data: Dict[str, Any]) -> NetworkPolicy:
+    """Rebuild a policy from the dictionary produced by :func:`policy_to_dict`."""
+    if data.get("format") != _FORMAT_VERSION:
+        raise PolicyError(f"unsupported policy format: {data.get('format')!r}")
+    policy = NetworkPolicy()
+    for tenant_data in data.get("tenants", []):
+        tenant = Tenant(name=tenant_data["name"])
+        for v in tenant_data.get("vrfs", []):
+            tenant.add_vrf(Vrf(uid=v["uid"], name=v["name"], scope_id=v["scope_id"]))
+        for f in tenant_data.get("filters", []):
+            entries = tuple(
+                FilterEntry(protocol=e["protocol"], port=e["port"]) for e in f["entries"]
+            )
+            tenant.add_filter(Filter(uid=f["uid"], name=f["name"], entries=entries))
+        for c in tenant_data.get("contracts", []):
+            tenant.add_contract(
+                Contract(uid=c["uid"], name=c["name"], filter_uids=tuple(c["filter_uids"]))
+            )
+        for e in tenant_data.get("epgs", []):
+            tenant.add_epg(
+                Epg(
+                    uid=e["uid"],
+                    name=e["name"],
+                    vrf_uid=e["vrf_uid"],
+                    epg_id=e["epg_id"],
+                    provides=frozenset(e["provides"]),
+                    consumes=frozenset(e["consumes"]),
+                )
+            )
+        for ep in tenant_data.get("endpoints", []):
+            tenant.add_endpoint(
+                Endpoint(
+                    uid=ep["uid"],
+                    name=ep["name"],
+                    epg_uid=ep["epg_uid"],
+                    ip=ep.get("ip", ""),
+                    mac=ep.get("mac", ""),
+                    switch_uid=ep.get("switch_uid"),
+                )
+            )
+        policy.add_tenant(tenant)
+    return policy
+
+
+def policy_to_json(policy: NetworkPolicy, indent: int | None = 2) -> str:
+    """Serialise a policy to a JSON string."""
+    return json.dumps(policy_to_dict(policy), indent=indent, sort_keys=True)
+
+
+def policy_from_json(text: str) -> NetworkPolicy:
+    """Parse a policy from the JSON produced by :func:`policy_to_json`."""
+    return policy_from_dict(json.loads(text))

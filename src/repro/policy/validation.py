@@ -1,0 +1,88 @@
+"""Structural validation of network policies.
+
+The controller refuses to deploy a policy that fails validation — faults the
+paper studies are *deployment* failures of well-formed policies, not
+syntactically broken policies, so experiments always start from a valid
+desired state.  Validation checks referential integrity and a handful of
+semantic rules:
+
+* every EPG references an existing VRF;
+* every contract references at least one existing filter;
+* every provide/consume relation points at an existing contract;
+* every endpoint belongs to an existing EPG;
+* filters contain at least one entry;
+* EPG numeric ids are unique within a VRF (they become TCAM match values);
+* VRF scope ids are globally unique.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import List
+
+from ..exceptions import ValidationError
+from .tenant import NetworkPolicy
+
+__all__ = ["validate_policy", "policy_issues"]
+
+
+def policy_issues(policy: NetworkPolicy) -> List[str]:
+    """Return a list of human-readable validation problems (empty if valid)."""
+    issues: list[str] = []
+
+    vrf_uids = {vrf.uid for vrf in policy.vrfs()}
+    epg_uids = {epg.uid for epg in policy.epgs()}
+    contract_uids = {contract.uid for contract in policy.contracts()}
+    filter_uids = {flt.uid for flt in policy.filters()}
+
+    # --- EPGs ---------------------------------------------------------- #
+    epg_ids_per_vrf: dict[str, dict[int, list[str]]] = defaultdict(lambda: defaultdict(list))
+    for epg in policy.epgs():
+        if epg.vrf_uid not in vrf_uids:
+            issues.append(f"EPG {epg.uid} references unknown VRF {epg.vrf_uid!r}")
+        else:
+            epg_ids_per_vrf[epg.vrf_uid][epg.epg_id].append(epg.uid)
+        for contract_uid in epg.provides | epg.consumes:
+            if contract_uid not in contract_uids:
+                issues.append(f"EPG {epg.uid} references unknown contract {contract_uid!r}")
+    for vrf_uid, by_id in epg_ids_per_vrf.items():
+        for epg_id, members in by_id.items():
+            if len(members) > 1:
+                issues.append(
+                    f"EPG id {epg_id} reused inside VRF {vrf_uid}: {', '.join(sorted(members))}"
+                )
+
+    # --- VRFs ----------------------------------------------------------- #
+    scope_owners: dict[int, list[str]] = defaultdict(list)
+    for vrf in policy.vrfs():
+        scope_owners[vrf.scope_id].append(vrf.uid)
+    for scope_id, owners in scope_owners.items():
+        if len(owners) > 1:
+            issues.append(f"VRF scope id {scope_id} reused by {', '.join(sorted(owners))}")
+
+    # --- Contracts ------------------------------------------------------ #
+    for contract in policy.contracts():
+        if not contract.filter_uids:
+            issues.append(f"contract {contract.uid} references no filters")
+        for filter_uid in contract.filter_uids:
+            if filter_uid not in filter_uids:
+                issues.append(f"contract {contract.uid} references unknown filter {filter_uid!r}")
+
+    # --- Filters -------------------------------------------------------- #
+    for flt in policy.filters():
+        if not flt.entries:
+            issues.append(f"filter {flt.uid} has no entries")
+
+    # --- Endpoints ------------------------------------------------------ #
+    for endpoint in policy.endpoints():
+        if endpoint.epg_uid not in epg_uids:
+            issues.append(f"endpoint {endpoint.uid} references unknown EPG {endpoint.epg_uid!r}")
+
+    return issues
+
+
+def validate_policy(policy: NetworkPolicy) -> None:
+    """Raise :class:`ValidationError` if the policy has structural problems."""
+    issues = policy_issues(policy)
+    if issues:
+        raise ValidationError(issues)

@@ -1,0 +1,95 @@
+"""Controller ↔ switch-agent protocol messages.
+
+The paper's management plane (§II-A) pushes *instructions* — policy objects
+plus the update operation to apply — from the controller to the switch
+agents over a linking technology such as OpFlex or OpenFlow.  This module is
+the protocol-neutral representation of those instructions; it deliberately
+has no dependency on the controller or the fabric so both sides can import
+it without layering cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .policy.objects import PolicyObject
+
+__all__ = ["Operation", "Instruction", "AttachEndpoint", "DeliveryStatus", "DeliveryReport"]
+
+
+class Operation(str, enum.Enum):
+    """Update operation carried by an instruction."""
+
+    ADD = "add"
+    MODIFY = "modify"
+    DELETE = "delete"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One policy-object update pushed to a switch agent.
+
+    Attributes
+    ----------
+    operation:
+        Add / modify / delete.
+    obj:
+        The policy object being updated.  For deletes the object carries the
+        last known state so the agent can locate it in its logical view.
+    sequence:
+        Monotonically increasing per-deployment sequence number; used by the
+        agent-crash fault to cut an instruction stream mid-way.
+    issued_at:
+        Logical timestamp at which the controller issued the instruction.
+    """
+
+    operation: Operation
+    obj: PolicyObject
+    sequence: int = 0
+    issued_at: int = 0
+
+    def describe(self) -> str:
+        return f"[{self.sequence}] {self.operation.value} {self.obj.uid}"
+
+
+@dataclass(frozen=True)
+class AttachEndpoint:
+    """Endpoint attachment notification (endpoint learned on a leaf port)."""
+
+    endpoint_uid: str
+    epg_uid: str
+    switch_uid: str
+    sequence: int = 0
+    issued_at: int = 0
+
+
+class DeliveryStatus(str, enum.Enum):
+    """Outcome of pushing one instruction batch to one switch."""
+
+    DELIVERED = "delivered"
+    PARTIAL = "partial"
+    UNREACHABLE = "unreachable"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class DeliveryReport:
+    """Per-switch result of a deployment round.
+
+    ``delivered`` counts instructions accepted by the agent, ``dropped``
+    counts instructions lost to channel or agent failures.  The controller
+    aggregates these into its deployment log.
+    """
+
+    switch_uid: str
+    status: DeliveryStatus
+    delivered: int = 0
+    dropped: int = 0
+    detail: Optional[str] = None

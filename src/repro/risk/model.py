@@ -1,0 +1,244 @@
+"""Bipartite risk model.
+
+A risk model (§III-B) is a bipartite graph between *elements* (the things
+that can be impacted — EPG pairs in the switch risk model, (switch, EPG pair)
+triplets in the controller risk model) and *shared risks* (policy objects).
+An edge exists when the element relies on the risk; after the L-T equivalence
+check, edges touched by missing rules are flagged ``fail`` (§III-C).
+
+The model exposes exactly the quantities the localization algorithms need:
+
+* ``G_i`` — elements depending on risk *i* (:meth:`elements_for_risk`);
+* ``O_i`` — failed elements depending on risk *i*
+  (:meth:`failed_elements_for_risk`);
+* the failure signature ``F`` (:meth:`failure_signature`);
+* hit ratio ``|O_i|/|G_i|`` and coverage ratio ``|O_i|/|F|``;
+* pruning of explained elements, which is how SCOUT iterates.
+
+Elements and risks are identified by hashable keys; the model does not care
+whether an element is an :class:`~repro.policy.objects.EpgPair` or a
+``(switch, pair)`` tuple, which lets the switch and controller models share
+the implementation.  All failure state is kept in per-element and per-risk
+indexes so hit/coverage ratio queries stay cheap on production-scale models
+(tens of thousands of elements).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..exceptions import RiskModelError
+
+__all__ = ["EdgeStatus", "RiskModel"]
+
+ElementKey = Hashable
+RiskKey = Hashable
+
+
+class EdgeStatus:
+    """Edge annotations used by the risk models."""
+
+    SUCCESS = "success"
+    FAIL = "fail"
+
+
+class RiskModel:
+    """A bipartite element ↔ shared-risk dependency graph."""
+
+    def __init__(self, name: str = "risk-model") -> None:
+        self.name = name
+        self._element_risks: Dict[ElementKey, Set[RiskKey]] = {}
+        self._risk_elements: Dict[RiskKey, Set[ElementKey]] = {}
+        # Failure state, indexed from both sides for O(1) ratio queries.
+        self._failed_risks_by_element: Dict[ElementKey, Set[RiskKey]] = {}
+        self._failed_elements_by_risk: Dict[RiskKey, Set[ElementKey]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_element(self, element: ElementKey, risks: Iterable[RiskKey]) -> None:
+        """Register an element and the shared risks it relies on."""
+        risk_set = set(risks)
+        if not risk_set:
+            raise RiskModelError(f"element {element!r} must depend on at least one risk")
+        existing = self._element_risks.setdefault(element, set())
+        existing.update(risk_set)
+        for risk in risk_set:
+            self._risk_elements.setdefault(risk, set()).add(element)
+
+    def mark_edge_failed(self, element: ElementKey, risk: RiskKey) -> None:
+        """Flag the (element, risk) edge as fail; the element becomes an observation."""
+        if element not in self._element_risks:
+            raise RiskModelError(f"unknown element {element!r}")
+        if risk not in self._element_risks[element]:
+            raise RiskModelError(f"element {element!r} does not depend on risk {risk!r}")
+        self._failed_risks_by_element.setdefault(element, set()).add(risk)
+        self._failed_elements_by_risk.setdefault(risk, set()).add(element)
+
+    def mark_element_failed(
+        self, element: ElementKey, risks: Optional[Iterable[RiskKey]] = None
+    ) -> None:
+        """Flag several of an element's edges as fail (all of them by default)."""
+        targets = set(risks) if risks is not None else set(self._element_risks.get(element, ()))
+        for risk in targets:
+            self.mark_edge_failed(element, risk)
+
+    # ------------------------------------------------------------------ #
+    # Structure queries
+    # ------------------------------------------------------------------ #
+    def elements(self) -> List[ElementKey]:
+        return list(self._element_risks)
+
+    def risks(self) -> List[RiskKey]:
+        return list(self._risk_elements)
+
+    def __contains__(self, element: ElementKey) -> bool:
+        return element in self._element_risks
+
+    def risks_for_element(self, element: ElementKey) -> Set[RiskKey]:
+        return set(self._element_risks.get(element, ()))
+
+    def elements_for_risk(self, risk: RiskKey) -> Set[ElementKey]:
+        """``G_i`` — every element that depends on ``risk``."""
+        return set(self._risk_elements.get(risk, ()))
+
+    def edge_status(self, element: ElementKey, risk: RiskKey) -> str:
+        if element not in self._element_risks or risk not in self._element_risks[element]:
+            raise RiskModelError(f"no edge between {element!r} and {risk!r}")
+        failed = risk in self._failed_risks_by_element.get(element, ())
+        return EdgeStatus.FAIL if failed else EdgeStatus.SUCCESS
+
+    # ------------------------------------------------------------------ #
+    # Failure queries
+    # ------------------------------------------------------------------ #
+    def failure_signature(self) -> Set[ElementKey]:
+        """``F`` — the set of observations (elements with at least one failed edge)."""
+        return {element for element, risks in self._failed_risks_by_element.items() if risks}
+
+    def is_failed(self, element: ElementKey) -> bool:
+        return bool(self._failed_risks_by_element.get(element))
+
+    def failed_risks_for_element(self, element: ElementKey) -> Set[RiskKey]:
+        """Risks connected to ``element`` through a failed edge (``getFailedObjects``)."""
+        return set(self._failed_risks_by_element.get(element, ()))
+
+    def failed_elements_for_risk(self, risk: RiskKey) -> Set[ElementKey]:
+        """``O_i`` — failed elements whose failed edges include ``risk``."""
+        return set(self._failed_elements_by_risk.get(risk, ()))
+
+    def failed_edges(self) -> Set[Tuple[ElementKey, RiskKey]]:
+        return {
+            (element, risk)
+            for element, risks in self._failed_risks_by_element.items()
+            for risk in risks
+        }
+
+    # ------------------------------------------------------------------ #
+    # Ratios
+    # ------------------------------------------------------------------ #
+    def hit_ratio(self, risk: RiskKey) -> float:
+        """``|O_i| / |G_i|`` — fraction of the risk's dependents that failed."""
+        dependents = self._risk_elements.get(risk)
+        if not dependents:
+            return 0.0
+        failed = self._failed_elements_by_risk.get(risk, ())
+        return len(failed) / len(dependents)
+
+    def coverage_ratio(
+        self, risk: RiskKey, failure_signature: Optional[Set[ElementKey]] = None
+    ) -> float:
+        """``|O_i| / |F|`` — fraction of the failure signature the risk explains."""
+        signature = failure_signature if failure_signature is not None else self.failure_signature()
+        if not signature:
+            return 0.0
+        failed = self._failed_elements_by_risk.get(risk, set()) & signature
+        return len(failed) / len(signature)
+
+    # ------------------------------------------------------------------ #
+    # Mutation used by the localization algorithms
+    # ------------------------------------------------------------------ #
+    def prune_elements(self, elements: Iterable[ElementKey]) -> int:
+        """Remove elements (and their edges) from the model; returns how many.
+
+        SCOUT prunes every element that depends on a risk it has just added
+        to the hypothesis, so the next iteration's hit and coverage ratios
+        are computed on the reduced model (Algorithm 1, line 16).
+        """
+        removed = 0
+        for element in list(elements):
+            risks = self._element_risks.pop(element, None)
+            if risks is None:
+                continue
+            removed += 1
+            for risk in risks:
+                dependents = self._risk_elements.get(risk)
+                if dependents is not None:
+                    dependents.discard(element)
+                    if not dependents:
+                        del self._risk_elements[risk]
+            failed_risks = self._failed_risks_by_element.pop(element, set())
+            for risk in failed_risks:
+                failed_set = self._failed_elements_by_risk.get(risk)
+                if failed_set is not None:
+                    failed_set.discard(element)
+                    if not failed_set:
+                        del self._failed_elements_by_risk[risk]
+        return removed
+
+    def copy(self) -> "RiskModel":
+        """Deep-enough copy for algorithms that prune while iterating."""
+        clone = RiskModel(name=self.name)
+        clone._element_risks = {el: set(risks) for el, risks in self._element_risks.items()}
+        clone._risk_elements = {risk: set(els) for risk, els in self._risk_elements.items()}
+        clone._failed_risks_by_element = {
+            el: set(risks) for el, risks in self._failed_risks_by_element.items()
+        }
+        clone._failed_elements_by_risk = {
+            risk: set(els) for risk, els in self._failed_elements_by_risk.items()
+        }
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Introspection / export
+    # ------------------------------------------------------------------ #
+    def suspect_risks(self) -> Set[RiskKey]:
+        """Every risk that a failed element relies on (the admin's raw suspect set).
+
+        This is the denominator of the paper's suspect-set-reduction metric
+        γ: without fault localization an admin would have to inspect all of
+        these objects.
+        """
+        suspects: Set[RiskKey] = set()
+        for element in self.failure_signature():
+            suspects.update(self._element_risks.get(element, ()))
+        return suspects
+
+    def to_networkx(self) -> nx.Graph:
+        """Export the model as a ``networkx`` bipartite graph (for inspection)."""
+        graph = nx.Graph()
+        for element, risks in self._element_risks.items():
+            graph.add_node(("element", element), bipartite=0)
+            failed = self._failed_risks_by_element.get(element, set())
+            for risk in risks:
+                graph.add_node(("risk", risk), bipartite=1)
+                status = EdgeStatus.FAIL if risk in failed else EdgeStatus.SUCCESS
+                graph.add_edge(("element", element), ("risk", risk), status=status)
+        return graph
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "elements": len(self._element_risks),
+            "risks": len(self._risk_elements),
+            "edges": sum(len(risks) for risks in self._element_risks.values()),
+            "failed_elements": len(self.failure_signature()),
+            "failed_edges": sum(len(risks) for risks in self._failed_risks_by_element.values()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.summary()
+        return (
+            f"RiskModel(name={self.name!r}, elements={s['elements']}, risks={s['risks']}, "
+            f"failed_elements={s['failed_elements']})"
+        )

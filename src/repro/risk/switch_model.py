@@ -1,0 +1,50 @@
+"""Switch risk model (§III-B, Figure 4(a)).
+
+One model per leaf switch: the elements are the EPG pairs deployed on that
+switch, the shared risks are the policy objects those pairs rely on (VRF,
+the two EPGs, contracts and filters).  A fault local to one switch — an agent
+bug, a TCAM glitch, an overflow — only affects that switch's model, which is
+why the paper uses the per-switch model to localize switch-level faults.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..policy.graph import PolicyIndex
+from ..policy.tenant import NetworkPolicy
+from .model import RiskModel
+
+__all__ = ["build_switch_risk_model", "build_all_switch_risk_models"]
+
+
+def build_switch_risk_model(
+    index: PolicyIndex,
+    switch_uid: str,
+    name: Optional[str] = None,
+) -> RiskModel:
+    """Build the (unaugmented) switch risk model for ``switch_uid``.
+
+    The left-hand side holds every EPG pair with at least one endpoint on the
+    switch; each pair has an edge to every policy object it relies on.  All
+    edges start as ``success``; :mod:`repro.risk.augment` flips edges to
+    ``fail`` from the equivalence checker's missing rules.
+    """
+    model = RiskModel(name=name or f"switch-risk-model:{switch_uid}")
+    for pair in index.pairs_on_switch(switch_uid):
+        risks = index.risks_for_pair(pair)
+        if risks:
+            model.add_element(pair, risks)
+    return model
+
+
+def build_all_switch_risk_models(
+    policy: NetworkPolicy,
+    index: Optional[PolicyIndex] = None,
+) -> Dict[str, RiskModel]:
+    """Build one switch risk model per leaf that hosts at least one EPG pair."""
+    index = index or PolicyIndex(policy)
+    return {
+        switch_uid: build_switch_risk_model(index, switch_uid)
+        for switch_uid in index.all_switches()
+    }

@@ -1,0 +1,184 @@
+"""TCAM rule representation shared by the controller, fabric and checker.
+
+A TCAM rule in this model matches on the same fields the paper's Figure 2
+shows: the VRF scope, the source and destination EPG class ids, the protocol
+and the destination port.  Every rule additionally carries *provenance* — the
+uids of the policy objects it was derived from — because both the risk-model
+augmentation (§III-C) and the fault injector ("all TCAM rules associated with
+an object", §VI-A) need to go from a rule back to the objects it depends on.
+
+Two rules are considered the *same rule* for equivalence checking when their
+match/action part (:meth:`TcamRule.match_key`) is identical; provenance is
+metadata and does not participate in L-T comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .policy.objects import Endpoint, Epg, EpgPair, Filter, FilterEntry, Vrf
+
+__all__ = [
+    "Action",
+    "TcamRule",
+    "MatchKey",
+    "rules_for_pair_entry",
+    "rules_for_pair",
+    "missing_matches",
+    "group_rules_by_switch",
+]
+
+#: Rule actions.  The policy model is whitelisting, so compiled rules are
+#: always ``"allow"``; the implicit catch-all deny is represented separately
+#: by the TCAM table.
+Action = str
+
+#: The hashable match/action tuple used for set comparison between L and T.
+MatchKey = Tuple[int, int, int, str, Optional[int], str]
+
+
+@dataclass(frozen=True)
+class TcamRule:
+    """A single access-control rule.
+
+    Match fields
+    ------------
+    vrf_scope : numeric VRF scope id (``VRF:101``).
+    src_epg / dst_epg : numeric EPG class ids.
+    protocol : ``"tcp"`` / ``"udp"`` / ``"icmp"`` / ``"any"``.
+    port : destination port, ``None`` meaning any port.
+    action : ``"allow"`` or ``"deny"``.
+
+    Provenance (not part of the match)
+    ----------------------------------
+    vrf_uid, src_epg_uid, dst_epg_uid, contract_uid, filter_uid : uids of the
+    policy objects the rule was rendered from.
+    """
+
+    vrf_scope: int
+    src_epg: int
+    dst_epg: int
+    protocol: str
+    port: Optional[int]
+    action: Action = "allow"
+    # provenance ------------------------------------------------------- #
+    vrf_uid: str = ""
+    src_epg_uid: str = ""
+    dst_epg_uid: str = ""
+    contract_uid: str = ""
+    filter_uid: str = ""
+
+    def match_key(self) -> MatchKey:
+        """The hashable match/action tuple (provenance excluded)."""
+        return (self.vrf_scope, self.src_epg, self.dst_epg, self.protocol, self.port, self.action)
+
+    def epg_pair(self) -> EpgPair:
+        """The EPG pair this rule serves (derived from provenance)."""
+        return EpgPair(self.src_epg_uid, self.dst_epg_uid)
+
+    def objects(self) -> List[str]:
+        """Uids of every policy object this rule depends on."""
+        uids = []
+        for uid in (self.vrf_uid, self.src_epg_uid, self.dst_epg_uid, self.contract_uid, self.filter_uid):
+            if uid and uid not in uids:
+                uids.append(uid)
+        return uids
+
+    def describe(self) -> str:
+        """Figure 2 style description, e.g. ``"VRF:101,Web,App,tcp/80 -> allow"``."""
+        port = "any" if self.port is None else str(self.port)
+        return (
+            f"VRF:{self.vrf_scope},{self.src_epg_uid or self.src_epg},"
+            f"{self.dst_epg_uid or self.dst_epg},{self.protocol}/{port} -> {self.action}"
+        )
+
+
+def rules_for_pair_entry(
+    vrf: Vrf,
+    epg_a: Epg,
+    epg_b: Epg,
+    contract_uid: str,
+    filter_uid: str,
+    entry: FilterEntry,
+) -> List[TcamRule]:
+    """Render the two directional allow rules for one filter entry of a pair.
+
+    Mirrors Figure 2: each allowed traffic class between an EPG pair turns
+    into one rule per direction (e.g. rules 5 and 6 for App↔DB on port 700).
+    """
+    forward = TcamRule(
+        vrf_scope=vrf.scope_id,
+        src_epg=epg_a.epg_id,
+        dst_epg=epg_b.epg_id,
+        protocol=entry.protocol,
+        port=entry.port,
+        action="allow",
+        vrf_uid=vrf.uid,
+        src_epg_uid=epg_a.uid,
+        dst_epg_uid=epg_b.uid,
+        contract_uid=contract_uid,
+        filter_uid=filter_uid,
+    )
+    reverse = TcamRule(
+        vrf_scope=vrf.scope_id,
+        src_epg=epg_b.epg_id,
+        dst_epg=epg_a.epg_id,
+        protocol=entry.protocol,
+        port=entry.port,
+        action="allow",
+        vrf_uid=vrf.uid,
+        src_epg_uid=epg_b.uid,
+        dst_epg_uid=epg_a.uid,
+        contract_uid=contract_uid,
+        filter_uid=filter_uid,
+    )
+    return [forward, reverse]
+
+
+def rules_for_pair(
+    vrf: Vrf,
+    epg_a: Epg,
+    epg_b: Epg,
+    contracts: Sequence[Tuple[str, Sequence[Tuple[str, Filter]]]],
+) -> List[TcamRule]:
+    """Render every rule for an EPG pair.
+
+    ``contracts`` is a sequence of ``(contract_uid, [(filter_uid, Filter), ...])``
+    pairs describing the contracts binding the two EPGs and the filters each
+    contract applies.  Duplicate match keys (e.g. two contracts allowing the
+    same port) are collapsed, keeping the first provenance encountered, which
+    matches how a real TCAM would store a single entry.
+    """
+    rules: list[TcamRule] = []
+    seen: set[MatchKey] = set()
+    for contract_uid, filters in contracts:
+        for filter_uid, flt in filters:
+            for entry in flt.entries:
+                for rule in rules_for_pair_entry(vrf, epg_a, epg_b, contract_uid, filter_uid, entry):
+                    key = rule.match_key()
+                    if key not in seen:
+                        seen.add(key)
+                        rules.append(rule)
+    return rules
+
+
+def missing_matches(expected: Iterable[TcamRule], deployed: Iterable[TcamRule]) -> List[TcamRule]:
+    """Return the expected rules whose match is absent from the deployed set.
+
+    This is the *set-difference* fallback used by tests to cross-check the
+    BDD-based equivalence checker in :mod:`repro.verify.checker` — the two
+    must always agree.
+    """
+    deployed_keys = {rule.match_key() for rule in deployed}
+    return [rule for rule in expected if rule.match_key() not in deployed_keys]
+
+
+def group_rules_by_switch(
+    rules_by_switch: dict[str, List[TcamRule]],
+) -> dict[str, dict[MatchKey, TcamRule]]:
+    """Index per-switch rule lists by match key (helper for checkers/tests)."""
+    return {
+        switch: {rule.match_key(): rule for rule in rules}
+        for switch, rules in rules_by_switch.items()
+    }

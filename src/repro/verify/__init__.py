@@ -1,0 +1,14 @@
+"""Verification substrate: ROBDD library and the L-T equivalence checker."""
+
+from .bdd import BDD
+from .checker import EquivalenceChecker, EquivalenceReport, SwitchCheckResult
+from .encoding import DEFAULT_RULE_SPACE, RuleSpace
+
+__all__ = [
+    "BDD",
+    "DEFAULT_RULE_SPACE",
+    "EquivalenceChecker",
+    "EquivalenceReport",
+    "RuleSpace",
+    "SwitchCheckResult",
+]

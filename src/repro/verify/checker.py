@@ -1,0 +1,220 @@
+"""L-T equivalence checker.
+
+The checker compares, per switch, the *logical* rules compiled from the
+network policy (L-type) against the rules actually present in the switch
+TCAM (T-type), exactly as §III-C describes:
+
+1. build one ROBDD from the L rules and one from the T rules;
+2. if the two ROBDDs are equivalent there is no inconsistency;
+3. otherwise emit the set of **missing rules** — L rules whose traffic is not
+   covered by the deployed TCAM state — which the risk models consume as
+   observations.
+
+Extra (superfluous) TCAM rules are also reported for completeness; the fault
+localization problem the paper studies is driven by the missing side.
+
+Two engines are available:
+
+* ``engine="bdd"`` — the faithful ROBDD comparison (default for per-switch
+  rule sets up to ``bdd_limit`` rules).  It is semantically exact even when
+  rules contain wildcards that subsume one another.
+* ``engine="hash"`` — an exact-match set difference on rule match keys.  For
+  rules produced by this library's compiler/agents (which never emit
+  overlapping wildcards between L and T) it returns the same answer and is
+  used automatically for very large rule sets, e.g. the 500-switch
+  scalability experiment and the "too many missing rules" use case.
+
+The automatic selection keeps the checker faithful where it matters and fast
+where the paper itself only cares about rule counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Literal, Optional, Sequence
+
+from ..exceptions import VerificationError
+from ..rules import TcamRule
+from .encoding import RuleSpace
+
+__all__ = ["SwitchCheckResult", "EquivalenceReport", "EquivalenceChecker"]
+
+Engine = Literal["auto", "bdd", "hash"]
+
+
+@dataclass
+class SwitchCheckResult:
+    """Outcome of the L-T comparison for one switch."""
+
+    switch_uid: str
+    equivalent: bool
+    missing_rules: List[TcamRule] = field(default_factory=list)
+    extra_rules: List[TcamRule] = field(default_factory=list)
+    logical_count: int = 0
+    deployed_count: int = 0
+    engine: str = "bdd"
+
+    def missing_count(self) -> int:
+        return len(self.missing_rules)
+
+
+@dataclass
+class EquivalenceReport:
+    """Network-wide L-T comparison: one :class:`SwitchCheckResult` per switch."""
+
+    results: Dict[str, SwitchCheckResult] = field(default_factory=dict)
+
+    @property
+    def equivalent(self) -> bool:
+        return all(result.equivalent for result in self.results.values())
+
+    def missing_rules(self) -> Dict[str, List[TcamRule]]:
+        """Per-switch missing rules (only switches with at least one miss)."""
+        return {
+            uid: result.missing_rules
+            for uid, result in self.results.items()
+            if result.missing_rules
+        }
+
+    def total_missing(self) -> int:
+        return sum(len(result.missing_rules) for result in self.results.values())
+
+    def total_extra(self) -> int:
+        return sum(len(result.extra_rules) for result in self.results.values())
+
+    def switches_with_violations(self) -> List[str]:
+        return sorted(uid for uid, result in self.results.items() if not result.equivalent)
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "switches": len(self.results),
+            "switches_with_violations": len(self.switches_with_violations()),
+            "missing_rules": self.total_missing(),
+            "extra_rules": self.total_extra(),
+        }
+
+
+class EquivalenceChecker:
+    """Compare desired (L) and deployed (T) rules and emit missing rules."""
+
+    def __init__(
+        self,
+        rule_space: Optional[RuleSpace] = None,
+        engine: Engine = "auto",
+        bdd_limit: int = 4000,
+    ) -> None:
+        if engine not in ("auto", "bdd", "hash"):
+            raise VerificationError(f"unknown checker engine {engine!r}")
+        self.rule_space = rule_space or RuleSpace()
+        self.engine = engine
+        self.bdd_limit = bdd_limit
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def check_switch(
+        self,
+        switch_uid: str,
+        logical: Sequence[TcamRule],
+        deployed: Sequence[TcamRule],
+    ) -> SwitchCheckResult:
+        """Compare one switch's logical and deployed rules."""
+        engine = self._select_engine(len(logical) + len(deployed))
+        if engine == "bdd":
+            return self._check_with_bdd(switch_uid, logical, deployed)
+        return self._check_with_hash(switch_uid, logical, deployed)
+
+    def check_network(
+        self,
+        logical: Dict[str, Sequence[TcamRule]],
+        deployed: Dict[str, Sequence[TcamRule]],
+    ) -> EquivalenceReport:
+        """Compare every switch present in either snapshot."""
+        report = EquivalenceReport()
+        for switch_uid in sorted(set(logical) | set(deployed)):
+            report.results[switch_uid] = self.check_switch(
+                switch_uid,
+                list(logical.get(switch_uid, ())),
+                list(deployed.get(switch_uid, ())),
+            )
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Engines
+    # ------------------------------------------------------------------ #
+    def _select_engine(self, total_rules: int) -> str:
+        if self.engine != "auto":
+            return self.engine
+        return "bdd" if total_rules <= self.bdd_limit else "hash"
+
+    def _check_with_bdd(
+        self,
+        switch_uid: str,
+        logical: Sequence[TcamRule],
+        deployed: Sequence[TcamRule],
+    ) -> SwitchCheckResult:
+        manager = self.rule_space.new_manager()
+        l_bdd = self.rule_space.encode_ruleset(manager, logical)
+        t_bdd = self.rule_space.encode_ruleset(manager, deployed)
+        if manager.equivalent(l_bdd, t_bdd):
+            return SwitchCheckResult(
+                switch_uid=switch_uid,
+                equivalent=True,
+                logical_count=len(logical),
+                deployed_count=len(deployed),
+                engine="bdd",
+            )
+
+        # Missing: logical rules whose match set is not fully covered by T.
+        missing_region = manager.apply_diff(l_bdd, t_bdd)
+        missing: list[TcamRule] = []
+        if missing_region != manager.FALSE:
+            for rule in logical:
+                if rule.action != "allow":
+                    continue
+                cube = self.rule_space.encode_rule(manager, rule)
+                if manager.apply_and(cube, missing_region) != manager.FALSE:
+                    missing.append(rule)
+
+        # Extra: deployed rules allowing traffic the policy does not allow.
+        extra_region = manager.apply_diff(t_bdd, l_bdd)
+        extra: list[TcamRule] = []
+        if extra_region != manager.FALSE:
+            for rule in deployed:
+                if rule.action != "allow":
+                    continue
+                cube = self.rule_space.encode_rule(manager, rule)
+                if manager.apply_and(cube, extra_region) != manager.FALSE:
+                    extra.append(rule)
+
+        return SwitchCheckResult(
+            switch_uid=switch_uid,
+            equivalent=False,
+            missing_rules=missing,
+            extra_rules=extra,
+            logical_count=len(logical),
+            deployed_count=len(deployed),
+            engine="bdd",
+        )
+
+    @staticmethod
+    def _check_with_hash(
+        switch_uid: str,
+        logical: Sequence[TcamRule],
+        deployed: Sequence[TcamRule],
+    ) -> SwitchCheckResult:
+        logical_allow = [rule for rule in logical if rule.action == "allow"]
+        deployed_allow = [rule for rule in deployed if rule.action == "allow"]
+        deployed_keys = {rule.match_key() for rule in deployed_allow}
+        logical_keys = {rule.match_key() for rule in logical_allow}
+        missing = [rule for rule in logical_allow if rule.match_key() not in deployed_keys]
+        extra = [rule for rule in deployed_allow if rule.match_key() not in logical_keys]
+        return SwitchCheckResult(
+            switch_uid=switch_uid,
+            equivalent=not missing and not extra,
+            missing_rules=missing,
+            extra_rules=extra,
+            logical_count=len(logical),
+            deployed_count=len(deployed),
+            engine="hash",
+        )

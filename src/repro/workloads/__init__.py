@@ -1,0 +1,33 @@
+"""Synthetic workloads: profiles, the policy generator and scenario builders."""
+
+from .generator import GeneratedWorkload, generate_policy, generate_workload
+from .profiles import (
+    WorkloadProfile,
+    production_cluster_profile,
+    scaled_profile,
+    simulation_profile,
+    testbed_profile,
+)
+from .scenarios import (
+    Scenario,
+    large_unresponsive_switch_scenario,
+    tcam_overflow_scenario,
+    three_tier_scenario,
+    unresponsive_switch_scenario,
+)
+
+__all__ = [
+    "GeneratedWorkload",
+    "Scenario",
+    "WorkloadProfile",
+    "generate_policy",
+    "generate_workload",
+    "large_unresponsive_switch_scenario",
+    "production_cluster_profile",
+    "scaled_profile",
+    "simulation_profile",
+    "tcam_overflow_scenario",
+    "testbed_profile",
+    "three_tier_scenario",
+    "unresponsive_switch_scenario",
+]

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Controller, Fabric
+from repro.policy import PolicyBuilder, three_tier_policy
+from repro.workloads import (
+    generate_workload,
+    testbed_profile,
+    three_tier_scenario,
+)
+from repro.workloads.profiles import WorkloadProfile
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for tests that need randomness."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def three_tier():
+    """The paper's Figure 1 example, deployed on a 3-leaf fabric."""
+    return three_tier_scenario()
+
+
+@pytest.fixture
+def three_tier_undeployed():
+    """The Figure 1 example wired up but not yet deployed."""
+    return three_tier_scenario(deploy=False)
+
+
+@pytest.fixture(scope="session")
+def tiny_profile() -> WorkloadProfile:
+    """A very small synthetic profile for fast unit tests."""
+    return WorkloadProfile(
+        name="tiny",
+        num_leaves=4,
+        num_spines=2,
+        num_vrfs=2,
+        num_epgs=16,
+        num_contracts=10,
+        num_filters=6,
+        target_pairs=25,
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_workload(tiny_profile):
+    """A generated tiny workload (policy + fabric, endpoints attached)."""
+    return generate_workload(tiny_profile)
+
+
+@pytest.fixture
+def deployed_tiny(tiny_profile):
+    """A freshly generated and deployed tiny workload (mutable per test)."""
+    workload = generate_workload(tiny_profile)
+    controller = Controller(workload.policy, workload.fabric)
+    controller.deploy()
+    return workload, controller
+
+
+@pytest.fixture(scope="session")
+def deployed_testbed_session():
+    """A deployed testbed-scale workload shared by read-only tests."""
+    from repro.experiments import prepare_workload
+
+    return prepare_workload(testbed_profile())

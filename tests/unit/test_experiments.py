@@ -1,0 +1,153 @@
+"""Unit tests for the experiment harness (scaled-down runs of every figure)."""
+
+import pytest
+
+from repro.experiments import (
+    SIMULATION_BINS,
+    TESTBED_BINS,
+    format_accuracy_table,
+    format_figure3,
+    format_figure7,
+    format_figure10,
+    format_scalability,
+    prepare_workload,
+    run_accuracy_sweep,
+    run_figure3,
+    run_scalability,
+    run_suspect_reduction,
+)
+from repro.experiments.common import make_localizers, mean_and_stdev, restore_tcam, snapshot_tcam
+from repro.policy.objects import ObjectType
+from repro.workloads import testbed_profile as make_testbed_profile
+from repro.workloads.profiles import WorkloadProfile
+
+
+@pytest.fixture(scope="module")
+def deployed_testbed():
+    return prepare_workload(make_testbed_profile())
+
+
+class TestCommon:
+    def test_prepare_workload_is_consistent(self, deployed_testbed):
+        missing = deployed_testbed.missing_rules()
+        assert missing == {}
+
+    def test_snapshot_restore_round_trip(self, deployed_testbed):
+        fabric = deployed_testbed.fabric
+        snapshot = snapshot_tcam(fabric)
+        victim = fabric.leaf_uids()[0]
+        fabric.switch(victim).tcam.clear()
+        assert deployed_testbed.missing_rules()
+        restore_tcam(fabric, snapshot)
+        assert deployed_testbed.missing_rules() == {}
+
+    def test_make_localizers_lineup(self, deployed_testbed):
+        localizers = make_localizers(deployed_testbed.controller, score_thresholds=(1.0, 0.6))
+        assert set(localizers) == {"SCOUT", "SCORE-1", "SCORE-0.6"}
+
+    def test_mean_and_stdev(self):
+        mean, std = mean_and_stdev([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(1.0)
+        assert mean_and_stdev([]) == (0.0, 0.0)
+        assert mean_and_stdev([5.0]) == (5.0, 0.0)
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def series(self):
+        # A reduced cluster keeps the test fast while preserving the shape.
+        profile = WorkloadProfile(
+            name="mini-cluster", num_leaves=12, num_spines=2, num_vrfs=4,
+            num_epgs=150, num_contracts=100, num_filters=50, target_pairs=3000,
+            epg_popularity_skew=1.1, vrf_size_skew=1.4, contract_reuse_probability=0.65,
+        )
+        return run_figure3(profile=profile)
+
+    def test_all_series_present(self, series):
+        assert set(series) == {
+            ObjectType.SWITCH, ObjectType.VRF, ObjectType.EPG,
+            ObjectType.FILTER, ObjectType.CONTRACT,
+        }
+
+    def test_vrfs_shared_by_many_more_pairs_than_filters(self, series):
+        assert series[ObjectType.VRF].percentile(0.5) > series[ObjectType.FILTER].percentile(0.5)
+        assert series[ObjectType.VRF].fraction_at_least(100) >= 0.5
+
+    def test_switches_carry_many_pairs(self, series):
+        assert series[ObjectType.SWITCH].fraction_at_least(100) >= 0.8
+
+    def test_cdf_points_monotone(self, series):
+        points = series[ObjectType.EPG].cdf_points()
+        fractions = [fraction for _, fraction in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_format_contains_every_type(self, series):
+        text = format_figure3(series)
+        for name in ("switch", "vrf", "epg", "filter", "contract"):
+            assert name in text
+
+
+class TestAccuracySweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, deployed_testbed):
+        return run_accuracy_sweep(
+            deployed_testbed, scope="controller", fault_counts=(1, 2), runs=4, seed=3
+        )
+
+    def test_all_cells_present(self, sweep):
+        assert set(sweep.algorithms()) == {"SCOUT", "SCORE-1", "SCORE-0.6"}
+        assert sweep.fault_counts() == [1, 2]
+        assert all(cell.runs == 4 for cell in sweep.cells)
+
+    def test_scout_recall_dominates_score(self, sweep):
+        for count in sweep.fault_counts():
+            scout = sweep.cell("SCOUT", count)
+            score = sweep.cell("SCORE-1", count)
+            assert scout.recall_mean >= score.recall_mean
+
+    def test_metrics_in_range(self, sweep):
+        for cell in sweep.cells:
+            assert 0.0 <= cell.precision_mean <= 1.0
+            assert 0.0 <= cell.recall_mean <= 1.0
+
+    def test_format_table(self, sweep):
+        text = format_accuracy_table(sweep, "recall")
+        assert "SCOUT" in text and "#faults" in text
+        assert format_figure10(sweep)  # both panels render
+
+    def test_switch_scope_sweep_runs(self, deployed_testbed):
+        sweep = run_accuracy_sweep(
+            deployed_testbed, scope="switch", fault_counts=(1,), runs=2, seed=5
+        )
+        assert sweep.cells
+        assert sweep.scope == "switch"
+
+
+class TestFigure7:
+    def test_suspect_reduction_samples(self, deployed_testbed):
+        result = run_suspect_reduction(
+            deployed_testbed, num_faults=12, bins=TESTBED_BINS, setting="testbed"
+        )
+        assert len(result.samples) > 0
+        for sample in result.samples:
+            assert 0.0 < sample.gamma <= 1.0
+            assert sample.hypothesis_size <= sample.suspect_count
+        assert result.max_hypothesis_size() <= 15
+        text = format_figure7(result)
+        assert "suspect set reduction" in text
+
+    def test_bins_constants(self):
+        assert TESTBED_BINS[0] == (1, 10)
+        assert SIMULATION_BINS[-1] == (500, 1000)
+
+
+class TestScalability:
+    def test_scalability_points(self):
+        points = run_scalability(leaf_counts=(4, 8), pairs_per_leaf=10, num_faults=3)
+        assert [point.leaves for point in points] == [4, 8]
+        assert points[1].elements >= points[0].elements
+        assert all(point.total_seconds >= 0 for point in points)
+        text = format_scalability(points)
+        assert "leaves" in text and "localize" in text

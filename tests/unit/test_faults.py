@@ -1,0 +1,170 @@
+"""Unit tests for fault injection: object faults, physical faults and the injector."""
+
+import random
+
+import pytest
+
+from repro.exceptions import FaultInjectionError
+from repro.fabric import AgentState, FaultCode
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    corrupt_switch_tcam,
+    crash_agent_after,
+    disrupt_control_channel,
+    inject_full_object_fault,
+    inject_partial_object_fault,
+    make_switch_unresponsive,
+    restore_switch,
+    rules_for_object,
+    shrink_tcam_capacity,
+)
+from repro.policy.objects import ObjectType
+from repro.verify import EquivalenceChecker
+
+
+class TestObjectFaults:
+    def test_rules_for_object_finds_deployed_rules(self, three_tier):
+        target = three_tier.uids["filter_extra_0"]
+        found = rules_for_object(three_tier.fabric, target)
+        assert set(found) == {"leaf-2", "leaf-3"}
+        assert all(target in rule.objects() for rules in found.values() for rule in rules)
+
+    def test_full_object_fault_removes_every_rule(self, three_tier):
+        target = three_tier.uids["filter_extra_0"]
+        before = three_tier.fabric.total_installed_rules()
+        fault = inject_full_object_fault(three_tier.fabric, target)
+        assert fault.kind is FaultKind.FULL
+        assert fault.total_removed() == 4
+        assert three_tier.fabric.total_installed_rules() == before - 4
+        assert rules_for_object(three_tier.fabric, target) == {}
+
+    def test_full_fault_respects_switch_scope(self, three_tier):
+        target = three_tier.uids["filter_extra_0"]
+        fault = inject_full_object_fault(three_tier.fabric, target, switches=["leaf-2"])
+        assert fault.switches == ["leaf-2"]
+        remaining = rules_for_object(three_tier.fabric, target)
+        assert set(remaining) == {"leaf-3"}
+
+    def test_partial_fault_keeps_at_least_one_rule(self, three_tier, rng):
+        target = three_tier.uids["filter_extra_0"]
+        fault = inject_partial_object_fault(three_tier.fabric, target, rng=rng, fraction=0.9)
+        assert fault.kind is FaultKind.PARTIAL
+        assert 1 <= fault.total_removed() <= 3
+        assert rules_for_object(three_tier.fabric, target)  # something survives
+
+    def test_fault_on_object_without_rules_rejected(self, three_tier):
+        with pytest.raises(FaultInjectionError):
+            inject_full_object_fault(three_tier.fabric, "filter:webshop/ghost")
+
+    def test_partial_fault_invalid_fraction_rejected(self, three_tier, rng):
+        with pytest.raises(FaultInjectionError):
+            inject_partial_object_fault(
+                three_tier.fabric, three_tier.uids["filter_http"], rng=rng, fraction=0.0
+            )
+
+    def test_injected_rules_show_up_as_missing(self, three_tier):
+        target = three_tier.uids["filter_extra_0"]
+        inject_full_object_fault(three_tier.fabric, target)
+        checker = EquivalenceChecker()
+        report = checker.check_network(
+            three_tier.controller.logical_rules(),
+            three_tier.controller.collect_deployed_rules(),
+        )
+        assert report.total_missing() == 4
+        for rules in report.missing_rules().values():
+            assert all(target in rule.objects() for rule in rules)
+
+
+class TestPhysicalFaults:
+    def test_make_switch_unresponsive_and_restore(self, three_tier):
+        controller = three_tier.controller
+        make_switch_unresponsive(controller, "leaf-2")
+        switch = controller.fabric.switch("leaf-2")
+        assert switch.agent.state is AgentState.UNRESPONSIVE
+        assert not controller.channel.is_connected("leaf-2")
+        assert switch.fault_log.with_code(FaultCode.SWITCH_UNREACHABLE)
+        restore_switch(controller, "leaf-2")
+        assert switch.agent.state is AgentState.RUNNING
+        assert controller.channel.is_connected("leaf-2")
+
+    def test_crash_agent_after(self, three_tier):
+        switch = three_tier.fabric.switch("leaf-1")
+        crash_agent_after(switch, 2)
+        assert switch.agent.crash_after == 2
+
+    def test_corrupt_switch_tcam_logs_fault(self, three_tier, rng):
+        switch = three_tier.fabric.switch("leaf-2")
+        corrupted = corrupt_switch_tcam(switch, rng, count=2)
+        assert len(corrupted) == 2
+        assert switch.fault_log.with_code(FaultCode.TCAM_CORRUPTION)
+
+    def test_corrupt_switch_tcam_silent_mode(self, three_tier, rng):
+        switch = three_tier.fabric.switch("leaf-2")
+        corrupt_switch_tcam(switch, rng, count=1, log_fault=False)
+        assert not switch.fault_log.with_code(FaultCode.TCAM_CORRUPTION)
+
+    def test_corruption_creates_missing_rules(self, three_tier, rng):
+        switch = three_tier.fabric.switch("leaf-2")
+        corrupt_switch_tcam(switch, rng, count=1)
+        checker = EquivalenceChecker()
+        report = checker.check_network(
+            three_tier.controller.logical_rules(),
+            three_tier.controller.collect_deployed_rules(),
+        )
+        assert report.results["leaf-2"].missing_rules
+
+    def test_disrupt_control_channel(self, three_tier):
+        disrupt_control_channel(three_tier.controller, 0.5, rng=random.Random(9))
+        assert three_tier.controller.channel.drop_probability == 0.5
+
+    def test_shrink_tcam_capacity(self, three_tier):
+        switch = three_tier.fabric.switch("leaf-3")
+        previous = shrink_tcam_capacity(switch, 2)
+        assert previous == -1
+        assert switch.tcam.capacity == 2
+
+
+class TestFaultInjector:
+    def test_faultable_objects_excludes_endpoints(self, three_tier):
+        injector = FaultInjector(three_tier.controller)
+        candidates = injector.faultable_objects()
+        assert candidates
+        types = {three_tier.policy.get(uid).object_type for uid in candidates}
+        assert ObjectType.ENDPOINT not in types
+
+    def test_inject_object_fault_records_ground_truth_and_change(self, three_tier):
+        injector = FaultInjector(three_tier.controller, rng=random.Random(5))
+        target = three_tier.uids["filter_http"]
+        before = len(three_tier.controller.change_log)
+        fault = injector.inject_object_fault(target, kind=FaultKind.FULL)
+        assert fault.object_uid == target
+        assert injector.ground_truth() == {target}
+        assert len(three_tier.controller.change_log) == before + 1
+        latest = three_tier.controller.change_log.latest_for_object(target)
+        assert latest.timestamp == fault.injected_at
+
+    def test_inject_random_faults_distinct_objects(self, deployed_tiny):
+        workload, controller = deployed_tiny
+        injector = FaultInjector(controller, rng=random.Random(7))
+        faults = injector.inject_random_faults(5)
+        assert len(faults) == 5
+        assert len(injector.ground_truth()) == 5
+
+    def test_partial_falls_back_to_full_for_single_rule_objects(self, deployed_tiny):
+        workload, controller = deployed_tiny
+        injector = FaultInjector(controller, rng=random.Random(7))
+        faults = injector.inject_random_faults(3, kinds=(FaultKind.PARTIAL,))
+        # Every fault must have removed at least one rule regardless of kind.
+        assert all(fault.total_removed() >= 1 for fault in faults)
+
+    def test_too_many_faults_rejected(self, three_tier):
+        injector = FaultInjector(three_tier.controller)
+        with pytest.raises(FaultInjectionError):
+            injector.inject_random_faults(100)
+
+    def test_reset_clears_history(self, three_tier):
+        injector = FaultInjector(three_tier.controller, rng=random.Random(1))
+        injector.inject_object_fault(three_tier.uids["filter_http"])
+        injector.reset()
+        assert injector.ground_truth() == set()

@@ -1,0 +1,184 @@
+"""Unit tests for the bipartite risk model, switch/controller models and augmentation."""
+
+import pytest
+
+from repro.exceptions import RiskModelError
+from repro.policy import EpgPair, PolicyIndex, three_tier_policy
+from repro.risk import (
+    EdgeStatus,
+    RiskModel,
+    augment_controller_model,
+    augment_switch_model,
+    build_all_switch_risk_models,
+    build_controller_risk_model,
+    build_switch_risk_model,
+)
+from repro.rules import TcamRule
+
+
+@pytest.fixture
+def simple_model():
+    """The Figure 5 style model: six pairs, six risks."""
+    model = RiskModel("figure5")
+    model.add_element("E1-E2", ["C1", "F1"])
+    model.add_element("E2-E3", ["F1", "F2"])
+    model.add_element("E3-E4", ["F2"])
+    model.add_element("E4-E5", ["F2", "C2"])
+    model.add_element("E5-E6", ["C2", "C3"])
+    model.add_element("E6-E7", ["C3", "F3"])
+    return model
+
+
+@pytest.fixture
+def web_policy_index():
+    builder, uids = three_tier_policy()
+    builder.endpoint("EP1", uids["web"], switch="leaf-1")
+    builder.endpoint("EP2", uids["app"], switch="leaf-2")
+    builder.endpoint("EP3", uids["db"], switch="leaf-3")
+    policy = builder.build()
+    return policy, PolicyIndex(policy), uids
+
+
+class TestRiskModel:
+    def test_add_element_requires_risks(self):
+        model = RiskModel()
+        with pytest.raises(RiskModelError):
+            model.add_element("x", [])
+
+    def test_edges_and_lookup(self, simple_model):
+        assert set(simple_model.risks_for_element("E2-E3")) == {"F1", "F2"}
+        assert simple_model.elements_for_risk("F2") == {"E2-E3", "E3-E4", "E4-E5"}
+        assert "E1-E2" in simple_model
+        assert "nope" not in simple_model
+
+    def test_mark_edge_failed_validates_edge(self, simple_model):
+        with pytest.raises(RiskModelError):
+            simple_model.mark_edge_failed("E1-E2", "F3")
+        with pytest.raises(RiskModelError):
+            simple_model.mark_edge_failed("ghost", "F1")
+
+    def test_failure_signature_and_edge_status(self, simple_model):
+        simple_model.mark_edge_failed("E2-E3", "F2")
+        assert simple_model.failure_signature() == {"E2-E3"}
+        assert simple_model.is_failed("E2-E3")
+        assert simple_model.edge_status("E2-E3", "F2") == EdgeStatus.FAIL
+        assert simple_model.edge_status("E2-E3", "F1") == EdgeStatus.SUCCESS
+
+    def test_hit_and_coverage_ratios(self, simple_model):
+        for element in ("E2-E3", "E3-E4", "E4-E5"):
+            simple_model.mark_edge_failed(element, "F2")
+        simple_model.mark_edge_failed("E2-E3", "F1")
+        assert simple_model.hit_ratio("F2") == 1.0
+        assert simple_model.hit_ratio("F1") == 0.5
+        assert simple_model.hit_ratio("C3") == 0.0
+        assert simple_model.coverage_ratio("F2") == 1.0
+        assert simple_model.coverage_ratio("F1") == pytest.approx(1 / 3)
+
+    def test_prune_elements_updates_ratios(self, simple_model):
+        for element in ("E2-E3", "E3-E4", "E4-E5"):
+            simple_model.mark_edge_failed(element, "F2")
+        removed = simple_model.prune_elements(["E2-E3", "E3-E4", "E4-E5"])
+        assert removed == 3
+        assert simple_model.failure_signature() == set()
+        assert "F2" not in simple_model.risks()  # no dependents left
+        assert simple_model.hit_ratio("F2") == 0.0
+
+    def test_copy_is_independent(self, simple_model):
+        simple_model.mark_edge_failed("E1-E2", "C1")
+        clone = simple_model.copy()
+        clone.prune_elements(["E1-E2"])
+        assert simple_model.is_failed("E1-E2")
+        assert "E1-E2" not in clone
+
+    def test_suspect_risks(self, simple_model):
+        simple_model.mark_edge_failed("E5-E6", "C3")
+        assert simple_model.suspect_risks() == {"C2", "C3"}
+
+    def test_to_networkx_statuses(self, simple_model):
+        simple_model.mark_edge_failed("E1-E2", "C1")
+        graph = simple_model.to_networkx()
+        assert graph.edges[("element", "E1-E2"), ("risk", "C1")]["status"] == EdgeStatus.FAIL
+        assert graph.edges[("element", "E1-E2"), ("risk", "F1")]["status"] == EdgeStatus.SUCCESS
+
+    def test_summary(self, simple_model):
+        summary = simple_model.summary()
+        assert summary["elements"] == 6
+        assert summary["risks"] == 6
+        assert summary["failed_elements"] == 0
+
+
+class TestSwitchRiskModel:
+    def test_figure4a_structure(self, web_policy_index):
+        _, index, uids = web_policy_index
+        model = build_switch_risk_model(index, "leaf-2")
+        pairs = set(model.elements())
+        assert pairs == {EpgPair(uids["web"], uids["app"]), EpgPair(uids["app"], uids["db"])}
+        web_app_risks = model.risks_for_element(EpgPair(uids["web"], uids["app"]))
+        assert uids["vrf"] in web_app_risks
+        assert uids["web_app_contract"] in web_app_risks
+        assert uids["app_db_contract"] not in web_app_risks
+
+    def test_all_switch_models(self, web_policy_index):
+        policy, index, _ = web_policy_index
+        models = build_all_switch_risk_models(policy, index)
+        assert set(models) == {"leaf-1", "leaf-2", "leaf-3"}
+        assert len(models["leaf-1"].elements()) == 1
+        assert len(models["leaf-2"].elements()) == 2
+
+
+class TestControllerRiskModel:
+    def test_figure4b_structure(self, web_policy_index):
+        policy, index, uids = web_policy_index
+        model = build_controller_risk_model(policy, index, include_switch_risks=False)
+        # Web-App on leaf-1 and leaf-2; App-DB on leaf-2 and leaf-3: 4 triplets.
+        assert len(model.elements()) == 4
+        element = ("leaf-1", EpgPair(uids["web"], uids["app"]))
+        assert element in model
+        assert uids["vrf"] in model.risks_for_element(element)
+
+    def test_switch_risks_included_by_default(self, web_policy_index):
+        policy, index, uids = web_policy_index
+        model = build_controller_risk_model(policy, index)
+        element = ("leaf-2", EpgPair(uids["web"], uids["app"]))
+        assert "leaf-2" in model.risks_for_element(element)
+
+
+class TestAugmentation:
+    def _missing_rule(self, uids, filter_uid=None):
+        return TcamRule(
+            101, 1, 2, "tcp", 80,
+            vrf_uid=uids["vrf"], src_epg_uid=uids["web"], dst_epg_uid=uids["app"],
+            contract_uid=uids["web_app_contract"],
+            filter_uid=filter_uid or uids["filter_http"],
+        )
+
+    def test_augment_switch_model_marks_only_rule_objects(self, web_policy_index):
+        _, index, uids = web_policy_index
+        model = build_switch_risk_model(index, "leaf-2")
+        flipped = augment_switch_model(model, [self._missing_rule(uids)])
+        pair = EpgPair(uids["web"], uids["app"])
+        assert flipped == 5
+        assert model.failure_signature() == {pair}
+        assert uids["filter_http"] in model.failed_risks_for_element(pair)
+        # The App-DB contract is a risk of the other pair and must stay green.
+        other = EpgPair(uids["app"], uids["db"])
+        assert not model.is_failed(other)
+
+    def test_augment_ignores_rules_for_unknown_pairs(self, web_policy_index):
+        _, index, uids = web_policy_index
+        model = build_switch_risk_model(index, "leaf-1")
+        rogue = TcamRule(101, 9, 8, "tcp", 80, src_epg_uid="epg:x/a", dst_epg_uid="epg:x/b")
+        assert augment_switch_model(model, [rogue]) == 0
+
+    def test_augment_controller_model_scopes_to_switch(self, web_policy_index):
+        policy, index, uids = web_policy_index
+        model = build_controller_risk_model(policy, index, include_switch_risks=True)
+        missing = {"leaf-2": [self._missing_rule(uids)]}
+        augment_controller_model(model, missing, include_switch_risks=True)
+        failed = model.failure_signature()
+        assert ("leaf-2", EpgPair(uids["web"], uids["app"])) in failed
+        assert ("leaf-1", EpgPair(uids["web"], uids["app"])) not in failed
+        # The switch itself is marked as a failed risk of that triplet.
+        assert "leaf-2" in model.failed_risks_for_element(
+            ("leaf-2", EpgPair(uids["web"], uids["app"]))
+        )

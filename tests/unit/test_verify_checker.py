@@ -1,0 +1,129 @@
+"""Unit tests for rule encoding and the L-T equivalence checker."""
+
+import pytest
+
+from repro.exceptions import VerificationError
+from repro.rules import TcamRule
+from repro.verify import EquivalenceChecker, RuleSpace
+
+
+def _rule(port, src=1, dst=2, protocol="tcp", vrf=101, action="allow", filter_uid="f"):
+    return TcamRule(vrf, src, dst, protocol, port, action=action,
+                    vrf_uid="vrf:t/v", src_epg_uid=f"epg:t/{src}", dst_epg_uid=f"epg:t/{dst}",
+                    contract_uid="contract:t/c", filter_uid=filter_uid)
+
+
+class TestRuleSpace:
+    def test_encode_decode_round_trip(self):
+        space = RuleSpace()
+        rule = _rule(80)
+        assignment = space.rule_assignment(rule)
+        decoded = space.decode_assignment(assignment)
+        assert decoded["vrf_scope"] == 101
+        assert decoded["src_epg"] == 1
+        assert decoded["dst_epg"] == 2
+        assert decoded["port"] == 80
+
+    def test_wildcard_port_unconstrained(self):
+        space = RuleSpace()
+        assignment = space.rule_assignment(_rule(None))
+        decoded = space.decode_assignment(assignment)
+        assert decoded["port"] is None
+
+    def test_any_protocol_unconstrained(self):
+        space = RuleSpace()
+        assignment = space.rule_assignment(_rule(80, protocol="any"))
+        assert space.decode_assignment(assignment)["protocol"] is None
+
+    def test_value_overflow_rejected(self):
+        space = RuleSpace(vrf_bits=4)
+        with pytest.raises(VerificationError):
+            space.rule_assignment(_rule(80, vrf=100))
+
+    def test_rule_count_via_bdd(self):
+        space = RuleSpace()
+        manager = space.new_manager()
+        node = space.encode_ruleset(manager, [_rule(80), _rule(81)])
+        assert manager.count_solutions(node) == 2
+
+    def test_deny_rules_excluded_from_allowed_set(self):
+        space = RuleSpace()
+        manager = space.new_manager()
+        node = space.encode_ruleset(manager, [_rule(80, action="deny")])
+        assert node == manager.FALSE
+
+
+class TestEquivalenceChecker:
+    def test_identical_sets_are_equivalent(self):
+        checker = EquivalenceChecker(engine="bdd")
+        rules = [_rule(80), _rule(443)]
+        result = checker.check_switch("leaf-1", rules, list(rules))
+        assert result.equivalent
+        assert result.missing_rules == [] and result.extra_rules == []
+
+    def test_missing_rule_detected(self):
+        checker = EquivalenceChecker(engine="bdd")
+        logical = [_rule(80), _rule(443)]
+        deployed = [_rule(80)]
+        result = checker.check_switch("leaf-1", logical, deployed)
+        assert not result.equivalent
+        assert [r.port for r in result.missing_rules] == [443]
+        assert result.extra_rules == []
+
+    def test_extra_rule_detected(self):
+        checker = EquivalenceChecker(engine="bdd")
+        result = checker.check_switch("leaf-1", [_rule(80)], [_rule(80), _rule(22)])
+        assert not result.equivalent
+        assert [r.port for r in result.extra_rules] == [22]
+
+    def test_wildcard_coverage_only_seen_by_bdd(self):
+        """A deployed wildcard-port rule subsumes a specific logical rule."""
+        logical = [_rule(80)]
+        deployed = [_rule(None)]
+        bdd_result = EquivalenceChecker(engine="bdd").check_switch("s", logical, deployed)
+        hash_result = EquivalenceChecker(engine="hash").check_switch("s", logical, deployed)
+        assert bdd_result.missing_rules == []          # semantically covered
+        assert len(hash_result.missing_rules) == 1     # exact-match engine flags it
+
+    def test_engines_agree_on_exact_match_rules(self):
+        logical = [_rule(p) for p in range(80, 120)]
+        deployed = [_rule(p) for p in range(80, 110)]
+        bdd_result = EquivalenceChecker(engine="bdd").check_switch("s", logical, deployed)
+        hash_result = EquivalenceChecker(engine="hash").check_switch("s", logical, deployed)
+        assert {r.match_key() for r in bdd_result.missing_rules} == {
+            r.match_key() for r in hash_result.missing_rules
+        }
+
+    def test_auto_engine_selects_hash_for_large_sets(self):
+        checker = EquivalenceChecker(engine="auto", bdd_limit=10)
+        logical = [_rule(p) for p in range(80, 120)]
+        result = checker.check_switch("s", logical, logical)
+        assert result.engine == "hash"
+        small = checker.check_switch("s", logical[:3], logical[:3])
+        assert small.engine == "bdd"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(VerificationError):
+            EquivalenceChecker(engine="magic")
+
+    def test_corrupted_action_counts_as_missing(self):
+        logical = [_rule(80)]
+        deployed = [_rule(80, action="deny")]
+        result = EquivalenceChecker(engine="bdd").check_switch("s", logical, deployed)
+        assert [r.port for r in result.missing_rules] == [80]
+
+    def test_network_report_aggregation(self):
+        checker = EquivalenceChecker(engine="hash")
+        logical = {"leaf-1": [_rule(80)], "leaf-2": [_rule(80), _rule(443)]}
+        deployed = {"leaf-1": [_rule(80)], "leaf-2": [_rule(80)]}
+        report = checker.check_network(logical, deployed)
+        assert not report.equivalent
+        assert report.total_missing() == 1
+        assert report.switches_with_violations() == ["leaf-2"]
+        assert set(report.missing_rules()) == {"leaf-2"}
+        assert report.summary()["switches"] == 2
+
+    def test_switch_only_in_deployed_snapshot(self):
+        checker = EquivalenceChecker(engine="hash")
+        report = checker.check_network({}, {"leaf-9": [_rule(80)]})
+        assert report.results["leaf-9"].extra_rules
