@@ -6,7 +6,7 @@ quick mode) and measures model-construction and SCOUT localization time.
 
 from repro.experiments import format_scalability, run_scalability
 
-from conftest import full_scale
+from conftest import emit_bench_json, full_scale
 
 
 def test_scalability_controller_risk_model(benchmark):
@@ -25,3 +25,18 @@ def test_scalability_controller_risk_model(benchmark):
     # budgets (the paper reports ~130 s at 500 leaves).
     assert points[-1].elements > points[0].elements
     assert points[-1].total_seconds < 300
+
+    emit_bench_json(
+        "scalability",
+        {
+            "pairs_per_leaf": pairs_per_leaf,
+            "points": [
+                {
+                    "leaves": point.leaves,
+                    "elements": point.elements,
+                    "total_seconds": point.total_seconds,
+                }
+                for point in points
+            ],
+        },
+    )

@@ -9,7 +9,10 @@ of repetitions so the whole harness finishes in a few minutes; set
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
+from typing import Optional
 
 import pytest
 
@@ -20,6 +23,24 @@ from repro.workloads import simulation_profile, testbed_profile
 def full_scale() -> bool:
     """True when the harness should run at the paper's full repetition counts."""
     return os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false", "no")
+
+
+def emit_bench_json(name: str, payload: dict) -> Optional[Path]:
+    """Optionally write ``BENCH_<name>.json`` with machine-readable results.
+
+    Controlled by ``REPRO_BENCH_JSON``: unset/``0`` disables emission, ``1``
+    writes into the current directory, any other value is treated as the
+    target directory.  CI and future PRs use these files to track the perf
+    trajectory without scraping stdout.
+    """
+    flag = os.environ.get("REPRO_BENCH_JSON", "0")
+    if flag in ("", "0", "false", "no"):
+        return None
+    target_dir = Path(".") if flag in ("1", "true", "yes") else Path(flag)
+    target_dir.mkdir(parents=True, exist_ok=True)
+    path = target_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session")

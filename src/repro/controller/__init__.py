@@ -2,7 +2,11 @@
 
 from .changelog import ChangeLog, ChangeRecord
 from .channel import ControlChannel
-from .compiler import build_instruction_batches, compile_logical_rules
+from .compiler import (
+    build_instruction_batches,
+    compile_logical_rules,
+    compile_logical_rules_for_switch,
+)
 from .controller import Controller
 
 __all__ = [
@@ -12,4 +16,5 @@ __all__ = [
     "Controller",
     "build_instruction_batches",
     "compile_logical_rules",
+    "compile_logical_rules_for_switch",
 ]

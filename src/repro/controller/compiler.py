@@ -21,10 +21,34 @@ from ..policy.tenant import NetworkPolicy
 from ..protocol import AttachEndpoint, Instruction, Operation
 from ..rules import TcamRule, rules_for_pair
 
-__all__ = ["compile_logical_rules", "build_instruction_batches", "SwitchBatch"]
+__all__ = [
+    "compile_logical_rules",
+    "compile_logical_rules_for_switch",
+    "compile_pair_rules",
+    "build_instruction_batches",
+    "SwitchBatch",
+]
 
 #: Per-switch instruction batch: (instructions, endpoint attachments).
 SwitchBatch = Tuple[List[Instruction], List[AttachEndpoint]]
+
+
+def compile_pair_rules(index: PolicyIndex, pair) -> List[TcamRule]:
+    """The rules one EPG pair contributes (before per-switch deduplication)."""
+    epg_a = index.epg(pair.first)
+    epg_b = index.epg(pair.second)
+    vrf = index.vrf(epg_a.vrf_uid)
+    contracts = []
+    for contract_uid in index.contracts_for_pair(pair):
+        contract = index.contract(contract_uid)
+        filters = []
+        for filter_uid in contract.filter_uids:
+            try:
+                filters.append((filter_uid, index.filter(filter_uid)))
+            except KeyError:
+                continue
+        contracts.append((contract_uid, filters))
+    return rules_for_pair(vrf, epg_a, epg_b, contracts)
 
 
 def compile_logical_rules(
@@ -41,25 +65,29 @@ def compile_logical_rules(
     index = index or PolicyIndex(policy)
     per_switch: Dict[str, Dict] = {}
     for pair in index.pairs:
-        epg_a = index.epg(pair.first)
-        epg_b = index.epg(pair.second)
-        vrf = index.vrf(epg_a.vrf_uid)
-        contracts = []
-        for contract_uid in index.contracts_for_pair(pair):
-            contract = index.contract(contract_uid)
-            filters = []
-            for filter_uid in contract.filter_uids:
-                try:
-                    filters.append((filter_uid, index.filter(filter_uid)))
-                except KeyError:
-                    continue
-            contracts.append((contract_uid, filters))
-        pair_rules = rules_for_pair(vrf, epg_a, epg_b, contracts)
+        pair_rules = compile_pair_rules(index, pair)
         for switch_uid in index.switches_for_pair(pair):
             bucket = per_switch.setdefault(switch_uid, {})
             for rule in pair_rules:
                 bucket.setdefault(rule.match_key(), rule)
     return {switch: list(rules.values()) for switch, rules in sorted(per_switch.items())}
+
+
+def compile_logical_rules_for_switch(index: PolicyIndex, switch_uid: str) -> List[TcamRule]:
+    """Compile the logical rule set of a single leaf switch.
+
+    The scoped counterpart of :func:`compile_logical_rules`: only the EPG
+    pairs present on ``switch_uid`` are compiled.  For any switch the result
+    equals the corresponding entry of :func:`compile_logical_rules` — useful
+    for one-off per-switch queries and as the reference the incremental
+    checker's pair-level cache (:mod:`repro.online.delta`, which builds on
+    :func:`compile_pair_rules` directly) is validated against.
+    """
+    bucket: Dict = {}
+    for pair in index.pairs_on_switch(switch_uid):
+        for rule in compile_pair_rules(index, pair):
+            bucket.setdefault(rule.match_key(), rule)
+    return list(bucket.values())
 
 
 def build_instruction_batches(

@@ -42,6 +42,20 @@ class ChangeLogOracle(Protocol):
         ...
 
 
+def _candidate_uid(candidate: Hashable) -> Optional[str]:
+    """The change-log key for a candidate risk.
+
+    Risk keys are usually the object uids themselves; risks that are richer
+    objects are looked up through their ``uid`` attribute.  Candidates with
+    no string uid can never have change records and are excluded explicitly
+    (rather than silently, as a type filter would).
+    """
+    if isinstance(candidate, str):
+        return candidate
+    uid = getattr(candidate, "uid", None)
+    return uid if isinstance(uid, str) else None
+
+
 @dataclass
 class RecentChangeOracle:
     """Default change-log oracle: a sliding recency window over a ChangeLog.
@@ -49,8 +63,10 @@ class RecentChangeOracle:
     ``window`` is measured in logical-clock ticks backwards from ``now``
     (defaulting to the newest record in the log).  With ``fallback_latest``
     enabled, a candidate set with no record inside the window falls back to
-    the candidate with the most recent record overall — useful when an
-    operator runs localization long after the offending change.
+    the candidates with the most recent record overall — useful when an
+    operator runs localization long after the offending change.  Candidates
+    whose latest records tie on the timestamp are *all* returned, so the
+    result never depends on iteration order.
     """
 
     change_log: ChangeLog
@@ -59,23 +75,38 @@ class RecentChangeOracle:
     fallback_latest: bool = True
 
     def recently_changed(self, candidates: Iterable[Hashable]) -> Set[Hashable]:
-        candidate_list = [c for c in candidates if isinstance(c, str)]
-        if not candidate_list:
+        # Distinct candidates may share a change-log uid: keep them all, so
+        # the result is a pure function of the candidate *set*.
+        by_uid: Dict[str, Set[Hashable]] = {}
+        for candidate in candidates:
+            uid = _candidate_uid(candidate)
+            if uid is not None:
+                by_uid.setdefault(uid, set()).add(candidate)
+        if not by_uid:
             return set()
         reference = self.now if self.now is not None else self.change_log.last_timestamp()
         recent = self.change_log.recently_changed_objects(reference, self.window)
-        selected = {uid for uid in candidate_list if uid in recent}
+        selected = {
+            candidate
+            for uid, group in by_uid.items()
+            if uid in recent
+            for candidate in group
+        }
         if selected or not self.fallback_latest:
             return selected
-        # Fallback: the candidate with the newest change record, if any exist.
-        best_uid: Optional[str] = None
+        # Fallback: every candidate sharing the newest change timestamp.
         best_time = -1
-        for uid in candidate_list:
+        best: Set[Hashable] = set()
+        for uid in sorted(by_uid):
             record = self.change_log.latest_for_object(uid)
-            if record is not None and record.timestamp > best_time:
+            if record is None:
+                continue
+            if record.timestamp > best_time:
                 best_time = record.timestamp
-                best_uid = uid
-        return {best_uid} if best_uid is not None else set()
+                best = set(by_uid[uid])
+            elif record.timestamp == best_time:
+                best.update(by_uid[uid])
+        return best
 
 
 class ScoutLocalizer:

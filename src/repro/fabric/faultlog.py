@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 __all__ = ["FaultCode", "FaultRecord", "FaultLogBook"]
 
@@ -74,6 +74,7 @@ class FaultLogBook:
 
     def __init__(self) -> None:
         self._records: List[FaultRecord] = []
+        self._listeners: List[Callable[[FaultRecord], None]] = []
 
     def raise_fault(
         self,
@@ -85,7 +86,26 @@ class FaultLogBook:
         """Append a new active fault and return the record."""
         record = FaultRecord(raised_at=time, device_uid=device_uid, code=code, detail=detail)
         self._records.append(record)
+        for listener in list(self._listeners):
+            listener(record)
         return record
+
+    def subscribe(
+        self, listener: Callable[[FaultRecord], None]
+    ) -> Callable[[FaultRecord], None]:
+        """Call ``listener`` with every fault raised from now on.
+
+        Merged books built with :meth:`extend` do not re-notify; only the
+        book a fault is originally raised against does.
+        """
+        self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: Callable[[FaultRecord], None]) -> None:
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     def extend(self, records: Iterable[FaultRecord]) -> None:
         self._records.extend(records)

@@ -27,7 +27,13 @@ import random
 from ..exceptions import TcamError
 from ..rules import MatchKey, TcamRule
 
-__all__ = ["InstallOutcome", "TcamTable"]
+__all__ = ["InstallOutcome", "TcamTable", "TcamListener"]
+
+#: Listener called on every table write: ``listener(kind, rule)`` with
+#: ``kind`` one of ``"installed"``, ``"removed"``, ``"evicted"``,
+#: ``"rejected"`` or ``"corrupted"``.  The online monitoring subsystem uses
+#: this hook to turn TCAM writes into ``RuleInstalled``/``RuleLost`` events.
+TcamListener = Callable[[str, TcamRule], None]
 
 
 class InstallOutcome(str, enum.Enum):
@@ -55,11 +61,30 @@ class TcamTable:
         self.capacity = capacity
         self.evict_on_overflow = evict_on_overflow
         self._entries: Dict[MatchKey, TcamRule] = {}
+        self._listeners: List[TcamListener] = []
         # Counters exposed for tests and the experiments.
         self.install_attempts = 0
         self.rejected_installs = 0
         self.evictions = 0
         self.corrupted_entries = 0
+
+    # ------------------------------------------------------------------ #
+    # Listeners (used by the online monitoring instrumentation)
+    # ------------------------------------------------------------------ #
+    def subscribe(self, listener: TcamListener) -> TcamListener:
+        """Call ``listener`` with every table write from now on."""
+        self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: TcamListener) -> None:
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self, kind: str, rule: TcamRule) -> None:
+        for listener in list(self._listeners):
+            listener(kind, rule)
 
     # ------------------------------------------------------------------ #
     # Capacity and inspection
@@ -104,18 +129,25 @@ class TcamTable:
         if self.is_full():
             if not self.evict_on_overflow:
                 self.rejected_installs += 1
+                self._notify("rejected", rule)
                 return InstallOutcome.REJECTED_FULL, None
             evicted_key = next(iter(self._entries))
             evicted = self._entries.pop(evicted_key)
             self.evictions += 1
             self._entries[key] = rule
+            self._notify("evicted", evicted)
+            self._notify("installed", rule)
             return InstallOutcome.INSTALLED_WITH_EVICTION, evicted
         self._entries[key] = rule
+        self._notify("installed", rule)
         return InstallOutcome.INSTALLED, None
 
     def remove(self, key: MatchKey) -> Optional[TcamRule]:
         """Remove the rule with ``key``; returns it or ``None`` if absent."""
-        return self._entries.pop(key, None)
+        rule = self._entries.pop(key, None)
+        if rule is not None:
+            self._notify("removed", rule)
+        return rule
 
     def remove_rule(self, rule: TcamRule) -> Optional[TcamRule]:
         return self.remove(rule.match_key())
@@ -124,10 +156,13 @@ class TcamTable:
         """Remove every installed rule satisfying ``predicate``; returns them."""
         removed = [rule for rule in self._entries.values() if predicate(rule)]
         for rule in removed:
-            self._entries.pop(rule.match_key(), None)
+            self.remove(rule.match_key())
         return removed
 
     def clear(self) -> None:
+        if self._listeners:
+            for rule in list(self._entries.values()):
+                self._notify("removed", rule)
         self._entries.clear()
 
     # ------------------------------------------------------------------ #
@@ -161,8 +196,11 @@ class TcamTable:
             # The corrupted entry may collide with another installed rule;
             # in that case the original simply disappears, which is still a
             # valid corruption outcome.
-            self._entries.setdefault(replacement.match_key(), replacement)
+            existing = self._entries.setdefault(replacement.match_key(), replacement)
             self.corrupted_entries += 1
+            self._notify("corrupted", original)
+            if existing is replacement:
+                self._notify("installed", replacement)
             corrupted.append((original, replacement))
         return corrupted
 

@@ -1,0 +1,41 @@
+"""Online monitoring: event-driven incremental checking and continuous SCOUT.
+
+The batch pipeline (:class:`~repro.core.system.ScoutSystem`) answers one
+question at one point in time by sweeping the whole network.  This package
+turns it into a continuous monitor running against a live controller:
+
+* :mod:`~repro.online.events` / :mod:`~repro.online.bus` — typed events and
+  a deterministic publish/subscribe bus;
+* :mod:`~repro.online.instrument` — listener wiring that republishes change
+  log, fault log and TCAM writes as events;
+* :mod:`~repro.online.delta` — the incremental L-T equivalence checker
+  (per-switch digests, blast-radius re-checks);
+* :mod:`~repro.online.monitor` — the debouncing daemon driving scoped SCOUT
+  runs and the incident lifecycle;
+* :mod:`~repro.online.incidents` — the JSONL-persistable incident store.
+"""
+
+from .bus import EventBus
+from .delta import IncrementalChecker, SwitchDigest
+from .events import DeviceFault, Event, PolicyChanged, RuleInstalled, RuleLost
+from .incidents import Incident, IncidentStatus, IncidentStore
+from .instrument import Instrumentation, instrument
+from .monitor import MonitorPass, NetworkMonitor
+
+__all__ = [
+    "DeviceFault",
+    "Event",
+    "EventBus",
+    "Incident",
+    "IncidentStatus",
+    "IncidentStore",
+    "IncrementalChecker",
+    "Instrumentation",
+    "MonitorPass",
+    "NetworkMonitor",
+    "PolicyChanged",
+    "RuleInstalled",
+    "RuleLost",
+    "SwitchDigest",
+    "instrument",
+]

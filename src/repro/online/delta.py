@@ -1,0 +1,348 @@
+"""Incremental L-T equivalence checking.
+
+``ScoutSystem.check`` recompiles every logical rule, snapshots every TCAM
+and compares the two network-wide — correct, but linear in the fabric for
+every query.  :class:`IncrementalChecker` instead maintains a *live* verdict
+that events patch in place:
+
+* the logical (L) side is cached at **pair granularity**: one compiled rule
+  map per EPG pair plus per-switch refcounted match-key maps, so a policy
+  change only recompiles the pairs that depend on the changed object and
+  patches their contribution in and out of the affected switches;
+* each switch carries a :class:`SwitchDigest` — the match-key fingerprints
+  of its logical and deployed rule sets — whose equality proves equivalence
+  without running a checker engine at all (identical match/action sets have
+  identical semantics);
+* a dirty set fed by event notifications makes :meth:`refresh` re-check
+  only the switches inside the blast radius of what actually happened.
+
+Blast radius: a TCAM or device event dirties exactly its switch.  A policy
+change dirties the EPG pairs depending on the changed object — under the
+index *before* the change (the object may have been deleted) and under the
+index rebuilt *after* it (the change may create new dependencies) — and,
+through them, the switches those pairs are placed on.  Endpoint changes map
+to their EPG's pairs, since attachments move rules between switches.
+
+Structure-preserving modifies (filter entries, VRF scopes) take a fast path:
+:meth:`~repro.policy.graph.PolicyIndex.refresh_object` patches the index in
+place and no rebuild happens at all.  The one full sweep left is
+:meth:`bootstrap`, which establishes the baseline every later delta patches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..controller.compiler import compile_pair_rules
+from ..controller.controller import Controller
+from ..policy.graph import PolicyIndex
+from ..policy.objects import EpgPair, ObjectType
+from ..protocol import Operation
+from ..rules import MatchKey, TcamRule
+from ..verify.checker import EquivalenceChecker, EquivalenceReport, SwitchCheckResult
+
+__all__ = ["SwitchDigest", "IncrementalChecker"]
+
+#: Object types whose modify (same uid) cannot change the pair/placement
+#: structure of the index — candidates for the in-place index patch.
+_STRUCTURE_PRESERVING = (ObjectType.FILTER, ObjectType.VRF)
+
+
+@dataclass(frozen=True)
+class SwitchDigest:
+    """Match-key fingerprints of one switch's logical and deployed rule sets."""
+
+    logical: FrozenSet[MatchKey]
+    deployed: FrozenSet[MatchKey]
+
+    @property
+    def clean(self) -> bool:
+        """True when L and T hold exactly the same match/action sets."""
+        return self.logical == self.deployed
+
+
+class IncrementalChecker:
+    """Event-driven per-switch L-T checking with pair-level deltas."""
+
+    def __init__(
+        self,
+        controller: Controller,
+        checker: Optional[EquivalenceChecker] = None,
+    ) -> None:
+        self.controller = controller
+        self.checker = checker or EquivalenceChecker()
+        self._index: Optional[PolicyIndex] = None
+        self._index_dirty = False
+        self._results: Dict[str, SwitchCheckResult] = {}
+        self._digests: Dict[str, SwitchDigest] = {}
+        # The cached L side, patched at pair granularity.
+        self._pair_rules: Dict[EpgPair, Dict[MatchKey, TcamRule]] = {}
+        self._pair_placement: Dict[EpgPair, Tuple[str, ...]] = {}
+        self._switch_refs: Dict[str, Dict[MatchKey, int]] = {}
+        self._switch_rules: Dict[str, Dict[MatchKey, TcamRule]] = {}
+        # Pending work.
+        self._dirty_pairs: Set[EpgPair] = set()
+        self._dirty: Set[str] = set()
+        #: Object blast radii still to be resolved against the rebuilt index.
+        self._pending_objects: List[Tuple[str, Optional[ObjectType]]] = []
+        # Statistics (the benchmarks and the examples assert on these).
+        self.full_checks = 0
+        self.switch_checks = 0
+        self.digest_short_circuits = 0
+        self.pair_recompiles = 0
+        self.index_rebuilds = 0
+        self.index_patches = 0
+
+    # ------------------------------------------------------------------ #
+    # Index management
+    # ------------------------------------------------------------------ #
+    @property
+    def index(self) -> PolicyIndex:
+        """The current policy index (rebuilt lazily after policy changes)."""
+        if self._index is None:
+            self.bootstrap()
+        elif self._index_dirty:
+            self._rebuild_index()
+        assert self._index is not None
+        return self._index
+
+    def _rebuild_index(self) -> None:
+        self._index = PolicyIndex(self.controller.policy)
+        self._index_dirty = False
+        self.index_rebuilds += 1
+        for object_uid, object_type in self._pending_objects:
+            self._dirty_pairs.update(
+                self._pairs_for_object(self._index, object_uid, object_type)
+            )
+        self._pending_objects.clear()
+
+    @staticmethod
+    def _pairs_for_object(
+        index: PolicyIndex, object_uid: str, object_type: Optional[ObjectType]
+    ) -> Set[EpgPair]:
+        """EPG pairs whose rules or placement can depend on ``object_uid``."""
+        pairs = set(index.pairs_for_object(object_uid))
+        if object_type is ObjectType.ENDPOINT:
+            # Endpoints are not shared risks, but attaching/detaching one
+            # moves its EPG's pairs between switches.
+            try:
+                endpoint = index.endpoint(object_uid)
+            except KeyError:
+                endpoint = None
+            if endpoint is not None:
+                pairs.update(index.pairs_for_object(endpoint.epg_uid))
+        return pairs
+
+    # ------------------------------------------------------------------ #
+    # Event notifications (called by the monitor)
+    # ------------------------------------------------------------------ #
+    def note_policy_change(
+        self,
+        object_uid: str,
+        object_type: Optional[ObjectType] = None,
+        operation: Optional[Operation] = None,
+    ) -> None:
+        """A policy object changed: dirty its blast radius, old and new.
+
+        Modifies of structure-preserving types (filters, VRFs) patch the
+        index in place; everything else schedules a lazy index rebuild.
+        """
+        if self._index is None:
+            return  # not bootstrapped yet: the first sweep sees everything
+        # The held index predates every pending change, so its view of the
+        # object's dependents is the correct "old" blast radius.
+        self._dirty_pairs.update(
+            self._pairs_for_object(self._index, object_uid, object_type)
+        )
+        if (
+            not self._index_dirty
+            and operation is Operation.MODIFY
+            and object_type in _STRUCTURE_PRESERVING
+            and self._index.refresh_object(object_uid, object_type)
+        ):
+            self.index_patches += 1
+            return
+        self._pending_objects.append((object_uid, object_type))
+        self._index_dirty = True
+
+    def note_switch_change(self, switch_uid: str) -> None:
+        """A switch's deployed state (or health) changed: dirty just it."""
+        self._dirty.add(switch_uid)
+
+    def dirty_switches(self) -> Set[str]:
+        return set(self._dirty)
+
+    # ------------------------------------------------------------------ #
+    # Pair-level logical-rule cache
+    # ------------------------------------------------------------------ #
+    def _apply_pair(self, pair: EpgPair) -> None:
+        """Re-derive one pair's rules/placement and patch the switch maps."""
+        assert self._index is not None
+        old_rules = self._pair_rules.get(pair, {})
+        old_placement = self._pair_placement.get(pair, ())
+        for switch_uid in old_placement:
+            refs = self._switch_refs.get(switch_uid, {})
+            rules = self._switch_rules.get(switch_uid, {})
+            for key in old_rules:
+                remaining = refs.get(key, 0) - 1
+                if remaining <= 0:
+                    refs.pop(key, None)
+                    rules.pop(key, None)
+                else:
+                    refs[key] = remaining
+            self._dirty.add(switch_uid)
+
+        new_rules: Dict[MatchKey, TcamRule] = {}
+        if self._index.contracts_for_pair(pair):
+            self.pair_recompiles += 1
+            new_rules = {
+                rule.match_key(): rule for rule in compile_pair_rules(self._index, pair)
+            }
+        new_placement = tuple(self._index.switches_for_pair(pair)) if new_rules else ()
+        for switch_uid in new_placement:
+            refs = self._switch_refs.setdefault(switch_uid, {})
+            rules = self._switch_rules.setdefault(switch_uid, {})
+            for key, rule in new_rules.items():
+                refs[key] = refs.get(key, 0) + 1
+                rules.setdefault(key, rule)
+            self._dirty.add(switch_uid)
+
+        if new_rules:
+            self._pair_rules[pair] = new_rules
+            self._pair_placement[pair] = new_placement
+        else:
+            self._pair_rules.pop(pair, None)
+            self._pair_placement.pop(pair, None)
+
+    def logical_rules_for(self, switch_uid: str) -> List[TcamRule]:
+        """The cached logical rule set of one switch (the live L side)."""
+        return list(self._switch_rules.get(switch_uid, {}).values())
+
+    # ------------------------------------------------------------------ #
+    # Checking
+    # ------------------------------------------------------------------ #
+    def bootstrap(self) -> EquivalenceReport:
+        """Full sweep establishing the baseline; clears all dirt."""
+        self._index = self.controller.build_index()
+        self._index_dirty = False
+        self._pending_objects.clear()
+        self._dirty_pairs.clear()
+        self._pair_rules = {}
+        self._pair_placement = {}
+        self._switch_refs = {}
+        self._switch_rules = {}
+        for pair in self._index.pairs:
+            rules = {
+                rule.match_key(): rule for rule in compile_pair_rules(self._index, pair)
+            }
+            if not rules:
+                continue
+            placement = tuple(self._index.switches_for_pair(pair))
+            self._pair_rules[pair] = rules
+            self._pair_placement[pair] = placement
+            for switch_uid in placement:
+                refs = self._switch_refs.setdefault(switch_uid, {})
+                bucket = self._switch_rules.setdefault(switch_uid, {})
+                for key, rule in rules.items():
+                    refs[key] = refs.get(key, 0) + 1
+                    bucket.setdefault(key, rule)
+
+        logical = {
+            switch_uid: list(rules.values())
+            for switch_uid, rules in self._switch_rules.items()
+        }
+        deployed = self.controller.collect_deployed_rules()
+        report = self.checker.check_network(logical, deployed)
+        self.full_checks += 1
+        self._results = dict(report.results)
+        self._digests = {
+            switch_uid: SwitchDigest(
+                logical=frozenset(self._switch_rules.get(switch_uid, {})),
+                deployed=frozenset(r.match_key() for r in deployed.get(switch_uid, ())),
+            )
+            for switch_uid in set(logical) | set(deployed)
+        }
+        self._dirty.clear()
+        return report
+
+    def refresh(
+        self, switch_uids: Optional[Sequence[str]] = None
+    ) -> Dict[str, SwitchCheckResult]:
+        """Re-check the dirty switches (plus any explicitly named ones).
+
+        Returns the fresh result for every switch that was re-validated.
+        Never-bootstrapped checkers bootstrap first and report every switch.
+        """
+        if self._index is None:
+            report = self.bootstrap()
+            return dict(report.results)
+        if switch_uids:
+            self._dirty.update(switch_uids)
+        if self._index_dirty:
+            self._rebuild_index()
+        for pair in sorted(self._dirty_pairs):
+            self._apply_pair(pair)
+        self._dirty_pairs.clear()
+        refreshed: Dict[str, SwitchCheckResult] = {}
+        for switch_uid in sorted(self._dirty):
+            refreshed[switch_uid] = self._check_one(switch_uid)
+        self._dirty.clear()
+        return refreshed
+
+    def _check_one(self, switch_uid: str) -> SwitchCheckResult:
+        logical_map = self._switch_rules.get(switch_uid, {})
+        switch = self.controller.fabric.switches.get(switch_uid)
+        deployed = switch.deployed_rules() if switch is not None else []
+        digest = SwitchDigest(
+            logical=frozenset(logical_map),
+            deployed=frozenset(rule.match_key() for rule in deployed),
+        )
+        self._digests[switch_uid] = digest
+        if digest.clean:
+            self.digest_short_circuits += 1
+            result = SwitchCheckResult(
+                switch_uid=switch_uid,
+                equivalent=True,
+                logical_count=len(logical_map),
+                deployed_count=len(deployed),
+                engine="digest",
+            )
+        else:
+            self.switch_checks += 1
+            result = self.checker.check_switch(
+                switch_uid, list(logical_map.values()), deployed
+            )
+        self._results[switch_uid] = result
+        return result
+
+    # ------------------------------------------------------------------ #
+    # State access
+    # ------------------------------------------------------------------ #
+    def report(self) -> EquivalenceReport:
+        """The live network-wide verdict assembled from per-switch results."""
+        report = EquivalenceReport()
+        for result in self._results.values():
+            report.update(result)
+        return report
+
+    def result_for(self, switch_uid: str) -> Optional[SwitchCheckResult]:
+        return self._results.get(switch_uid)
+
+    def digest_for(self, switch_uid: str) -> Optional[SwitchDigest]:
+        return self._digests.get(switch_uid)
+
+    def missing_rules_for(self, switch_uid: str) -> List[TcamRule]:
+        result = self._results.get(switch_uid)
+        return list(result.missing_rules) if result is not None else []
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "full_checks": self.full_checks,
+            "switch_checks": self.switch_checks,
+            "digest_short_circuits": self.digest_short_circuits,
+            "pair_recompiles": self.pair_recompiles,
+            "index_rebuilds": self.index_rebuilds,
+            "index_patches": self.index_patches,
+            "dirty_switches": len(self._dirty),
+        }

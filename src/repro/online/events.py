@@ -1,0 +1,98 @@
+"""Typed events flowing through the online monitoring subsystem.
+
+The batch pipeline answers "is the deployed state consistent *right now*?"
+by sweeping the whole network.  The online pipeline instead reacts to the
+individual state transitions a live controller and fabric produce:
+
+* :class:`PolicyChanged` — a management action hit the controller change
+  log (object added / modified / deleted);
+* :class:`RuleInstalled` — a switch agent wrote a rule into its TCAM;
+* :class:`RuleLost` — a rule left a TCAM (removed, evicted, rejected at
+  install time, or corrupted by a bit error);
+* :class:`DeviceFault` — a device fault log raised a new record (agent
+  crash, unresponsive switch, TCAM overflow, ...).
+
+Events are frozen dataclasses stamped with the shared logical clock, so an
+event trace is fully deterministic and replayable.  They carry enough
+provenance (object uid / rule / device uid) for the incremental checker to
+compute a blast radius without consulting global state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fabric.faultlog import FaultCode
+from ..policy.objects import ObjectType
+from ..protocol import Operation
+from ..rules import TcamRule
+
+__all__ = [
+    "Event",
+    "PolicyChanged",
+    "RuleInstalled",
+    "RuleLost",
+    "DeviceFault",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class: every event carries the logical time it occurred at."""
+
+    timestamp: int
+
+    def describe(self) -> str:
+        return f"t={self.timestamp} {type(self).__name__}"
+
+
+@dataclass(frozen=True)
+class PolicyChanged(Event):
+    """A management action was applied to one policy object."""
+
+    object_uid: str
+    object_type: ObjectType
+    operation: Operation
+    detail: str = ""
+
+    def describe(self) -> str:
+        return f"t={self.timestamp} policy-changed {self.operation.value} {self.object_uid}"
+
+
+@dataclass(frozen=True)
+class RuleInstalled(Event):
+    """A rule was written into one switch's TCAM."""
+
+    switch_uid: str
+    rule: TcamRule
+
+    def describe(self) -> str:
+        return f"t={self.timestamp} rule-installed {self.switch_uid} {self.rule.describe()}"
+
+
+@dataclass(frozen=True)
+class RuleLost(Event):
+    """A rule left one switch's TCAM (or never made it in).
+
+    ``cause`` is the TCAM write kind: ``"removed"``, ``"evicted"``,
+    ``"rejected"`` (install bounced off a full table) or ``"corrupted"``.
+    """
+
+    switch_uid: str
+    rule: TcamRule
+    cause: str = "removed"
+
+    def describe(self) -> str:
+        return f"t={self.timestamp} rule-lost({self.cause}) {self.switch_uid} {self.rule.describe()}"
+
+
+@dataclass(frozen=True)
+class DeviceFault(Event):
+    """A device (or the controller, about a device) raised a fault record."""
+
+    device_uid: str
+    code: FaultCode
+    detail: str = ""
+
+    def describe(self) -> str:
+        return f"t={self.timestamp} device-fault {self.device_uid} {self.code.value}"

@@ -1,0 +1,225 @@
+"""Incident store: the monitor's durable output.
+
+Where a batch :class:`~repro.core.system.ScoutReport` is a one-shot answer,
+the monitor tracks *incidents* — one per switch with an open L-T violation —
+through the ``open → updated → resolved`` lifecycle.  An incident remembers
+when it was opened, how often the violation changed while it was open, the
+current SCOUT suspect set, and the device-fault codes seen while it was
+active, which is the record an operator (or a paging pipeline) consumes.
+
+Incidents serialize to plain dicts, and the store round-trips through JSONL
+(one incident per line) so a long-running monitor can persist its state and
+a later process can load the history back.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = ["IncidentStatus", "Incident", "IncidentStore"]
+
+
+class IncidentStatus(str, enum.Enum):
+    OPEN = "open"
+    RESOLVED = "resolved"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class Incident:
+    """One tracked violation on one switch."""
+
+    incident_id: str
+    switch_uid: str
+    opened_at: int
+    updated_at: int
+    status: IncidentStatus = IncidentStatus.OPEN
+    resolved_at: Optional[int] = None
+    missing_rules: int = 0
+    extra_rules: int = 0
+    #: Stringified SCOUT hypothesis objects, sorted.
+    suspects: List[str] = field(default_factory=list)
+    #: Fault codes observed on the switch while the incident was active.
+    fault_codes: List[str] = field(default_factory=list)
+    #: How many times the violation changed after the incident opened.
+    updates: int = 0
+
+    @property
+    def is_open(self) -> bool:
+        return self.status is IncidentStatus.OPEN
+
+    def describe(self) -> str:
+        state = (
+            f"open since t={self.opened_at}"
+            if self.is_open
+            else f"resolved t={self.opened_at}..{self.resolved_at}"
+        )
+        suspects = ", ".join(self.suspects) if self.suspects else "-"
+        return (
+            f"[{self.incident_id}] {self.switch_uid} {state}: "
+            f"{self.missing_rules} missing rule(s), suspects: {suspects}"
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "incident_id": self.incident_id,
+            "switch_uid": self.switch_uid,
+            "opened_at": self.opened_at,
+            "updated_at": self.updated_at,
+            "status": self.status.value,
+            "resolved_at": self.resolved_at,
+            "missing_rules": self.missing_rules,
+            "extra_rules": self.extra_rules,
+            "suspects": list(self.suspects),
+            "fault_codes": list(self.fault_codes),
+            "updates": self.updates,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Incident":
+        return cls(
+            incident_id=data["incident_id"],
+            switch_uid=data["switch_uid"],
+            opened_at=data["opened_at"],
+            updated_at=data["updated_at"],
+            status=IncidentStatus(data.get("status", "open")),
+            resolved_at=data.get("resolved_at"),
+            missing_rules=data.get("missing_rules", 0),
+            extra_rules=data.get("extra_rules", 0),
+            suspects=list(data.get("suspects", ())),
+            fault_codes=list(data.get("fault_codes", ())),
+            updates=data.get("updates", 0),
+        )
+
+
+class IncidentStore:
+    """All incidents a monitor produced, with at most one open per switch."""
+
+    def __init__(self) -> None:
+        self._incidents: Dict[str, Incident] = {}
+        self._active_by_switch: Dict[str, str] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def open(
+        self,
+        switch_uid: str,
+        time: int,
+        missing_rules: int = 0,
+        extra_rules: int = 0,
+        suspects: Optional[List[str]] = None,
+    ) -> Incident:
+        """Open a new incident for ``switch_uid`` (which must have none open)."""
+        if switch_uid in self._active_by_switch:
+            raise ValueError(f"switch {switch_uid!r} already has an open incident")
+        self._counter += 1
+        incident = Incident(
+            incident_id=f"INC-{self._counter:04d}",
+            switch_uid=switch_uid,
+            opened_at=time,
+            updated_at=time,
+            missing_rules=missing_rules,
+            extra_rules=extra_rules,
+            suspects=sorted(suspects or ()),
+        )
+        self._incidents[incident.incident_id] = incident
+        self._active_by_switch[switch_uid] = incident.incident_id
+        return incident
+
+    def update(
+        self,
+        switch_uid: str,
+        time: int,
+        missing_rules: int = 0,
+        extra_rules: int = 0,
+        suspects: Optional[List[str]] = None,
+    ) -> Incident:
+        """Refresh the open incident of ``switch_uid`` with new evidence."""
+        incident = self.active_for(switch_uid)
+        if incident is None:
+            raise ValueError(f"switch {switch_uid!r} has no open incident to update")
+        incident.updated_at = time
+        incident.missing_rules = missing_rules
+        incident.extra_rules = extra_rules
+        incident.suspects = sorted(suspects or ())
+        incident.updates += 1
+        return incident
+
+    def resolve(self, switch_uid: str, time: int) -> Optional[Incident]:
+        """Close the open incident of ``switch_uid`` (no-op when none is open)."""
+        incident_id = self._active_by_switch.pop(switch_uid, None)
+        if incident_id is None:
+            return None
+        incident = self._incidents[incident_id]
+        incident.status = IncidentStatus.RESOLVED
+        incident.resolved_at = time
+        incident.updated_at = time
+        return incident
+
+    def note_fault(self, switch_uid: str, code: str) -> None:
+        """Attach a device fault code to the switch's open incident, if any."""
+        incident = self.active_for(switch_uid)
+        if incident is not None and code not in incident.fault_codes:
+            incident.fault_codes.append(code)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def active_for(self, switch_uid: str) -> Optional[Incident]:
+        incident_id = self._active_by_switch.get(switch_uid)
+        return self._incidents.get(incident_id) if incident_id is not None else None
+
+    def active(self) -> List[Incident]:
+        return [incident for incident in self._incidents.values() if incident.is_open]
+
+    def resolved(self) -> List[Incident]:
+        return [incident for incident in self._incidents.values() if not incident.is_open]
+
+    def all(self) -> List[Incident]:
+        return list(self._incidents.values())
+
+    def get(self, incident_id: str) -> Optional[Incident]:
+        return self._incidents.get(incident_id)
+
+    def __len__(self) -> int:
+        return len(self._incidents)
+
+    # ------------------------------------------------------------------ #
+    # JSONL persistence
+    # ------------------------------------------------------------------ #
+    def to_jsonl(self) -> str:
+        """All incidents, one JSON object per line (oldest first)."""
+        return "\n".join(json.dumps(incident.to_dict()) for incident in self._incidents.values())
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        content = self.to_jsonl()
+        path.write_text(content + "\n" if content else "")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "IncidentStore":
+        store = cls()
+        for line in Path(path).read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            incident = Incident.from_dict(json.loads(line))
+            store._incidents[incident.incident_id] = incident
+            if incident.is_open:
+                store._active_by_switch[incident.switch_uid] = incident.incident_id
+            # Keep the counter ahead of every loaded id so new ids stay unique.
+            try:
+                number = int(incident.incident_id.rsplit("-", 1)[-1])
+            except ValueError:
+                number = 0
+            store._counter = max(store._counter, number)
+        return store

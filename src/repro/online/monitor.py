@@ -1,0 +1,284 @@
+"""The continuous monitoring daemon.
+
+:class:`NetworkMonitor` closes the loop the paper's architecture (§V,
+Figure 6) runs as a batch pipeline:
+
+1. :func:`~repro.online.instrument.instrument` turns controller/fabric state
+   transitions into typed events on an :class:`~repro.online.bus.EventBus`;
+2. the monitor buffers events and *debounces* them against the shared
+   :class:`~repro.clock.LogicalClock` — a burst (one deployment touches
+   hundreds of rules) collapses into a single processing pass once the
+   clock has advanced ``debounce_ticks`` past the last event;
+3. a pass asks the :class:`~repro.online.delta.IncrementalChecker` to
+   re-validate only the blast radius, runs a *scoped* SCOUT localization
+   (per-switch risk model, existing :class:`~repro.core.scout.ScoutLocalizer`)
+   on every switch still violating, and drives the
+   :class:`~repro.online.incidents.IncidentStore` lifecycle:
+   a new violation opens an incident, a changed one updates it, a clean
+   re-check resolves it.
+
+The monitor is synchronous and deterministic: ``poll()`` is the single
+entry point, so simulations and tests control exactly when work happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..controller.controller import Controller
+from ..core.hypothesis import Hypothesis
+from ..core.scout import RecentChangeOracle, ScoutLocalizer
+from ..risk.augment import augment_switch_model
+from ..risk.switch_model import build_switch_risk_model
+from ..verify.checker import EquivalenceChecker, EquivalenceReport, SwitchCheckResult
+from .bus import EventBus
+from .delta import IncrementalChecker
+from .events import DeviceFault, Event, PolicyChanged, RuleInstalled, RuleLost
+from .incidents import Incident, IncidentStore
+from .instrument import Instrumentation, instrument
+
+__all__ = ["MonitorPass", "NetworkMonitor"]
+
+
+@dataclass
+class MonitorPass:
+    """What one processing pass of the monitor did."""
+
+    triggered_at: int
+    events: int
+    switches_rechecked: List[str] = field(default_factory=list)
+    opened: List[Incident] = field(default_factory=list)
+    updated: List[Incident] = field(default_factory=list)
+    resolved: List[Incident] = field(default_factory=list)
+
+    @property
+    def quiet(self) -> bool:
+        """True when the pass changed no incident."""
+        return not (self.opened or self.updated or self.resolved)
+
+    def describe(self) -> str:
+        lines = [
+            f"monitor pass at t={self.triggered_at}: {self.events} event(s), "
+            f"rechecked {len(self.switches_rechecked)} switch(es) "
+            f"({', '.join(self.switches_rechecked) or '-'})"
+        ]
+        for label, incidents in (
+            ("opened", self.opened),
+            ("updated", self.updated),
+            ("resolved", self.resolved),
+        ):
+            for incident in incidents:
+                lines.append(f"  {label}: {incident.describe()}")
+        return "\n".join(lines)
+
+
+class NetworkMonitor:
+    """Event-driven equivalence checking and continuous SCOUT localization."""
+
+    def __init__(
+        self,
+        controller: Controller,
+        bus: Optional[EventBus] = None,
+        checker: Optional[EquivalenceChecker] = None,
+        localizer: Optional[ScoutLocalizer] = None,
+        store: Optional[IncidentStore] = None,
+        debounce_ticks: int = 1,
+        max_wait_ticks: Optional[int] = None,
+        change_window: int = 100,
+    ) -> None:
+        self.controller = controller
+        self.clock = controller.clock
+        self.bus = bus or EventBus()
+        self.delta = IncrementalChecker(controller, checker=checker)
+        self.localizer = localizer or ScoutLocalizer(
+            change_oracle=RecentChangeOracle(
+                change_log=controller.change_log, window=change_window
+            )
+        )
+        self.store = store or IncidentStore()
+        self.debounce_ticks = debounce_ticks
+        #: Upper bound on how long a pending batch may wait for the burst to
+        #: settle; without it, a steady event stream would starve the monitor
+        #: forever.  Defaults to five debounce windows.
+        self.max_wait_ticks = (
+            max_wait_ticks if max_wait_ticks is not None else 5 * debounce_ticks
+        )
+        self.passes: List[MonitorPass] = []
+        self._pending: List[Event] = []
+        self._first_event_at: Optional[int] = None
+        self._last_event_at: Optional[int] = None
+        self._instrumentation: Optional[Instrumentation] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def running(self) -> bool:
+        return self._instrumentation is not None
+
+    def start(self) -> EquivalenceReport:
+        """Instrument the controller/fabric and establish the baseline.
+
+        The bootstrap is the monitor's one full sweep; violations already
+        present open incidents immediately, so a monitor attached to a
+        degraded network starts with an accurate picture.
+        """
+        if self.running:
+            raise RuntimeError("monitor is already running")
+        self._instrumentation = instrument(self.controller, self.bus)
+        self.bus.subscribe(self._on_event)
+        report = self.delta.bootstrap()
+        baseline = MonitorPass(triggered_at=self.clock.peek(), events=0)
+        self._apply_results(dict(report.results), baseline)
+        if not baseline.quiet:
+            self.passes.append(baseline)
+        # Bootstrapping consumed the current state; drop events the sweep
+        # itself may have triggered observers for.
+        self._pending.clear()
+        self._first_event_at = None
+        self._last_event_at = None
+        return report
+
+    def stop(self) -> None:
+        """Detach from the controller/fabric; the incident store survives."""
+        if self._instrumentation is not None:
+            self._instrumentation.detach()
+            self._instrumentation = None
+        self.bus.unsubscribe(self._on_event)
+
+    # ------------------------------------------------------------------ #
+    # Event intake
+    # ------------------------------------------------------------------ #
+    def _on_event(self, event: Event) -> None:
+        self._pending.append(event)
+        if self._first_event_at is None:
+            self._first_event_at = event.timestamp
+        self._last_event_at = event.timestamp
+        if isinstance(event, PolicyChanged):
+            self.delta.note_policy_change(
+                event.object_uid, event.object_type, event.operation
+            )
+        elif isinstance(event, (RuleInstalled, RuleLost)):
+            self.delta.note_switch_change(event.switch_uid)
+        elif isinstance(event, DeviceFault):
+            if event.device_uid in self.controller.fabric:
+                self.delta.note_switch_change(event.device_uid)
+
+    def pending_events(self) -> int:
+        return len(self._pending)
+
+    def due(self, now: Optional[int] = None) -> bool:
+        """True when the pending burst has settled for ``debounce_ticks``.
+
+        A batch also comes due once its *oldest* event has waited
+        ``max_wait_ticks``, so a steady event stream (which never settles)
+        cannot starve detection indefinitely.
+        """
+        if not self._pending:
+            return False
+        if self._last_event_at is None:
+            return True
+        now = self.clock.peek() if now is None else now
+        if now - self._last_event_at >= self.debounce_ticks:
+            return True
+        return (
+            self._first_event_at is not None
+            and now - self._first_event_at >= self.max_wait_ticks
+        )
+
+    # ------------------------------------------------------------------ #
+    # Processing
+    # ------------------------------------------------------------------ #
+    def poll(self, force: bool = False) -> Optional[MonitorPass]:
+        """Process the pending event batch if it is due (or ``force`` is set).
+
+        Returns the :class:`MonitorPass` describing what happened, or
+        ``None`` when there was nothing (ready) to do.
+        """
+        if not self._pending:
+            return None
+        now = self.clock.peek()
+        if not force and not self.due(now):
+            return None
+        events = self._pending
+        self._pending = []
+        self._first_event_at = None
+        fault_codes: Dict[str, Set[str]] = {}
+        for event in events:
+            if isinstance(event, DeviceFault):
+                fault_codes.setdefault(event.device_uid, set()).add(event.code.value)
+        refreshed = self.delta.refresh()
+        result = MonitorPass(triggered_at=now, events=len(events))
+        self._apply_results(refreshed, result, fault_codes)
+        self.passes.append(result)
+        return result
+
+    def _apply_results(
+        self,
+        results: Dict[str, SwitchCheckResult],
+        monitor_pass: MonitorPass,
+        fault_codes: Optional[Dict[str, Set[str]]] = None,
+    ) -> None:
+        now = monitor_pass.triggered_at
+        for switch_uid in sorted(results):
+            result = results[switch_uid]
+            monitor_pass.switches_rechecked.append(switch_uid)
+            active = self.store.active_for(switch_uid)
+            if not result.equivalent:
+                hypothesis = self._localize_switch(switch_uid, result)
+                suspects = sorted(str(risk) for risk in hypothesis.objects())
+                if active is None:
+                    incident = self.store.open(
+                        switch_uid,
+                        now,
+                        missing_rules=result.missing_count(),
+                        extra_rules=len(result.extra_rules),
+                        suspects=suspects,
+                    )
+                    monitor_pass.opened.append(incident)
+                elif (
+                    active.missing_rules != result.missing_count()
+                    or active.extra_rules != len(result.extra_rules)
+                    or active.suspects != suspects
+                ):
+                    incident = self.store.update(
+                        switch_uid,
+                        now,
+                        missing_rules=result.missing_count(),
+                        extra_rules=len(result.extra_rules),
+                        suspects=suspects,
+                    )
+                    monitor_pass.updated.append(incident)
+                # An unchanged violation is not an update: the incident (and
+                # anything paging on it) only moves when the evidence does.
+            elif active is not None:
+                incident = self.store.resolve(switch_uid, now)
+                if incident is not None:
+                    monitor_pass.resolved.append(incident)
+        for device_uid, codes in sorted((fault_codes or {}).items()):
+            for code in sorted(codes):
+                self.store.note_fault(device_uid, code)
+
+    def _localize_switch(self, switch_uid: str, result: SwitchCheckResult) -> Hypothesis:
+        """Scoped SCOUT: one switch risk model, augmented with its misses."""
+        model = build_switch_risk_model(self.delta.index, switch_uid)
+        augment_switch_model(model, result.missing_rules)
+        return self.localizer.localize(model)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def report(self) -> EquivalenceReport:
+        """The live network-wide L-T verdict (no sweep; may lag pending events)."""
+        return self.delta.report()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            **self.delta.stats(),
+            "events_seen": self.bus.total_events(),
+            "pending_events": len(self._pending),
+            "passes": len(self.passes),
+            "incidents": len(self.store),
+            "active_incidents": len(self.store.active()),
+        }

@@ -170,6 +170,35 @@ class PolicyIndex:
     def vrf(self, uid: str) -> Vrf:
         return self._vrfs[uid]
 
+    def endpoint(self, uid: str) -> Endpoint:
+        return self._endpoints[uid]
+
+    def refresh_object(self, object_uid: str, object_type: ObjectType) -> bool:
+        """Patch one *structure-preserving* object modify into the index.
+
+        Filters and VRFs only carry rule-level payload (entries, scope): a
+        modify that keeps the uid cannot change which pairs exist, which
+        risks they rely on or where they are placed, so the cached maps stay
+        valid and only the object snapshot needs replacing.  Returns False
+        when the object is of any other type (or unknown/deleted), in which
+        case the caller must rebuild the index.
+        """
+        if object_type is ObjectType.FILTER and object_uid in self._filters:
+            for tenant in self.policy.tenants.values():
+                obj = tenant.filters.get(object_uid)
+                if obj is not None:
+                    self._filters[object_uid] = obj
+                    return True
+            return False
+        if object_type is ObjectType.VRF and object_uid in self._vrfs:
+            for tenant in self.policy.tenants.values():
+                obj = tenant.vrfs.get(object_uid)
+                if obj is not None:
+                    self._vrfs[object_uid] = obj
+                    return True
+            return False
+        return False
+
     def object_types(self) -> Mapping[str, ObjectType]:
         """Map every known object uid (plus switches) to its object type."""
         types: Dict[str, ObjectType] = {}

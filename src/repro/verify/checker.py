@@ -68,6 +68,18 @@ class EquivalenceReport:
     def equivalent(self) -> bool:
         return all(result.equivalent for result in self.results.values())
 
+    def result_for(self, switch_uid: str) -> Optional[SwitchCheckResult]:
+        return self.results.get(switch_uid)
+
+    def update(self, result: SwitchCheckResult) -> None:
+        """Replace (or insert) one switch's result.
+
+        The online incremental checker re-validates switches one at a time
+        and patches a long-lived report through this method instead of
+        rebuilding it from a full network sweep.
+        """
+        self.results[result.switch_uid] = result
+
     def missing_rules(self) -> Dict[str, List[TcamRule]]:
         """Per-switch missing rules (only switches with at least one miss)."""
         return {

@@ -1,0 +1,164 @@
+"""Unit tests for the incremental equivalence checker (blast-radius rechecks)."""
+
+from repro.controller.compiler import (
+    compile_logical_rules,
+    compile_logical_rules_for_switch,
+)
+from repro.online import IncrementalChecker
+from repro.policy.objects import Filter, FilterEntry, ObjectType
+from repro.workloads import three_tier_scenario
+
+
+def checker_for(scenario) -> IncrementalChecker:
+    delta = IncrementalChecker(scenario.controller)
+    delta.bootstrap()
+    return delta
+
+
+class TestScopedCompile:
+    def test_matches_full_compile_per_switch(self, three_tier):
+        index = three_tier.controller.build_index()
+        full = compile_logical_rules(three_tier.policy, index=index)
+        for switch_uid, rules in full.items():
+            scoped = compile_logical_rules_for_switch(index, switch_uid)
+            assert {r.match_key() for r in scoped} == {r.match_key() for r in rules}
+        assert compile_logical_rules_for_switch(index, "no-such-leaf") == []
+
+
+class TestBootstrapAndDigests:
+    def test_bootstrap_is_clean_on_healthy_deployment(self, three_tier):
+        delta = checker_for(three_tier)
+        report = delta.report()
+        assert report.equivalent
+        assert delta.full_checks == 1
+        for switch_uid in three_tier.fabric.leaf_uids():
+            digest = delta.digest_for(switch_uid)
+            assert digest is not None and digest.clean
+        assert delta.dirty_switches() == set()
+
+    def test_refresh_without_bootstrap_bootstraps(self, three_tier):
+        delta = IncrementalChecker(three_tier.controller)
+        refreshed = delta.refresh()
+        assert set(refreshed) == set(three_tier.fabric.leaf_uids())
+        assert delta.full_checks == 1
+
+
+class TestSwitchEvents:
+    def test_rule_loss_rechecks_only_that_switch(self, three_tier):
+        delta = checker_for(three_tier)
+        switch = three_tier.fabric.switch("leaf-2")
+        lost = switch.tcam.remove_where(lambda rule: True)
+        assert lost
+        delta.note_switch_change("leaf-2")
+        refreshed = delta.refresh()
+        assert set(refreshed) == {"leaf-2"}
+        result = refreshed["leaf-2"]
+        assert not result.equivalent
+        assert len(result.missing_rules) == len(lost)
+        assert not delta.report().equivalent
+        assert delta.missing_rules_for("leaf-2") == result.missing_rules
+
+    def test_repair_short_circuits_through_the_digest(self, three_tier):
+        delta = checker_for(three_tier)
+        switch = three_tier.fabric.switch("leaf-2")
+        switch.tcam.remove_where(lambda rule: True)
+        delta.note_switch_change("leaf-2")
+        delta.refresh()
+        engine_checks = delta.switch_checks
+        switch.sync_tcam()
+        delta.note_switch_change("leaf-2")
+        refreshed = delta.refresh()
+        assert refreshed["leaf-2"].equivalent
+        assert refreshed["leaf-2"].engine == "digest"
+        assert delta.switch_checks == engine_checks  # no engine run needed
+        assert delta.digest_short_circuits >= 1
+        assert delta.report().equivalent
+
+
+class TestPolicyBlastRadius:
+    def test_filter_change_dirties_only_dependent_switches(self, three_tier):
+        delta = checker_for(three_tier)
+        # port700 is only used by the App-DB contract: pairs on leaf-2/leaf-3.
+        filter_uid = three_tier.uids["filter_extra_0"]
+        flt = Filter(
+            uid=filter_uid,
+            name="port700",
+            entries=(FilterEntry(protocol="tcp", port=700), FilterEntry(protocol="tcp", port=701)),
+        )
+        three_tier.controller.modify_object("webshop", flt, detail="add port 701")
+        delta.note_policy_change(filter_uid, ObjectType.FILTER)
+        refreshed = delta.refresh()
+        assert set(refreshed) == {"leaf-2", "leaf-3"}
+        # The deployed state is now stale on both switches.
+        assert all(not result.equivalent for result in refreshed.values())
+        # Redeploying repairs them.
+        three_tier.controller.deploy(record_initial_changes=False)
+        delta.note_switch_change("leaf-2")
+        delta.note_switch_change("leaf-3")
+        refreshed = delta.refresh()
+        assert all(result.equivalent for result in refreshed.values())
+
+    def test_deleted_object_blast_radius_uses_the_old_index(self, three_tier):
+        delta = checker_for(three_tier)
+        filter_uid = three_tier.uids["filter_extra_0"]
+        tenant = three_tier.policy.tenants["webshop"]
+        flt = tenant.filters[filter_uid]
+        three_tier.controller.delete_object("webshop", flt, detail="drop filter")
+        delta.note_policy_change(filter_uid, ObjectType.FILTER)
+        refreshed = delta.refresh()
+        # The new index no longer knows the filter; the pre-change index
+        # still resolved its dependents.
+        assert set(refreshed) == {"leaf-2", "leaf-3"}
+
+    def test_unknown_object_is_harmless(self, three_tier):
+        delta = checker_for(three_tier)
+        delta.note_policy_change("filter:webshop/never-existed", ObjectType.FILTER)
+        assert delta.refresh() == {}
+
+    def test_filter_modify_takes_the_index_patch_fast_path(self, three_tier):
+        from repro.protocol import Operation
+
+        delta = checker_for(three_tier)
+        filter_uid = three_tier.uids["filter_extra_0"]
+        flt = Filter(
+            uid=filter_uid,
+            name="port700",
+            entries=(FilterEntry(protocol="tcp", port=700), FilterEntry(protocol="tcp", port=702)),
+        )
+        three_tier.controller.modify_object("webshop", flt, detail="widen filter")
+        delta.note_policy_change(filter_uid, ObjectType.FILTER, Operation.MODIFY)
+        refreshed = delta.refresh()
+        # Same blast radius and verdict as the rebuild path ...
+        assert set(refreshed) == {"leaf-2", "leaf-3"}
+        assert all(not result.equivalent for result in refreshed.values())
+        # ... but the index was patched in place, not rebuilt.
+        assert delta.index_patches == 1
+        assert delta.index_rebuilds == 0
+        # The new logical rules picked up the widened filter.
+        ports = {
+            rule.port for rule in delta.logical_rules_for("leaf-3") if rule.filter_uid == filter_uid
+        }
+        assert 702 in ports
+
+    def test_add_operation_falls_back_to_rebuild(self, three_tier):
+        from repro.protocol import Operation
+
+        delta = checker_for(three_tier)
+        flt = Filter(
+            uid="filter:webshop/new-port",
+            name="new-port",
+            entries=(FilterEntry(protocol="tcp", port=900),),
+        )
+        three_tier.controller.add_object("webshop", flt, detail="brand new filter")
+        delta.note_policy_change(flt.uid, ObjectType.FILTER, Operation.ADD)
+        delta.refresh()
+        assert delta.index_rebuilds == 1
+        assert delta.index_patches == 0
+
+    def test_endpoint_change_dirties_epg_switches(self, three_tier):
+        delta = checker_for(three_tier)
+        endpoint_uid = three_tier.uids["ep_app"]
+        delta.note_policy_change(endpoint_uid, ObjectType.ENDPOINT)
+        refreshed = delta.refresh()
+        # The App EPG's endpoint lives on leaf-2.
+        assert "leaf-2" in set(refreshed)

@@ -1,0 +1,175 @@
+"""Unit tests for the online event types, the bus and the instrumentation."""
+
+import random
+
+from repro.fabric import FaultCode, FaultLogBook, TcamTable
+from repro.online import (
+    DeviceFault,
+    EventBus,
+    PolicyChanged,
+    RuleInstalled,
+    RuleLost,
+    instrument,
+)
+from repro.policy.objects import Contract
+from repro.protocol import Operation
+from repro.rules import TcamRule
+
+
+def make_rule(port=80, **overrides) -> TcamRule:
+    values = dict(
+        vrf_scope=101,
+        src_epg=1,
+        dst_epg=2,
+        protocol="tcp",
+        port=port,
+        action="allow",
+        filter_uid="filter:t/f",
+    )
+    values.update(overrides)
+    return TcamRule(**values)
+
+
+class TestEventBus:
+    def test_publish_reaches_untyped_and_typed_subscribers(self):
+        bus = EventBus()
+        seen_all, seen_lost = [], []
+        bus.subscribe(seen_all.append)
+        bus.subscribe(seen_lost.append, event_type=RuleLost)
+        installed = RuleInstalled(timestamp=1, switch_uid="leaf-1", rule=make_rule())
+        lost = RuleLost(timestamp=2, switch_uid="leaf-1", rule=make_rule(), cause="evicted")
+        assert bus.publish(installed) == 1
+        assert bus.publish(lost) == 2
+        assert seen_all == [installed, lost]
+        assert seen_lost == [lost]
+        assert bus.counts == {"RuleInstalled": 1, "RuleLost": 1}
+        assert bus.total_events() == 2
+
+    def test_unsubscribe_and_history_limit(self):
+        bus = EventBus(history_limit=2)
+        seen = []
+        handler = bus.subscribe(seen.append)
+        for t in range(3):
+            bus.publish(DeviceFault(timestamp=t, device_uid="leaf-1", code=FaultCode.UNKNOWN))
+        assert len(bus.history) == 2  # ring buffer dropped the oldest
+        assert bus.total_events() == 3
+        bus.unsubscribe(handler)
+        bus.publish(DeviceFault(timestamp=9, device_uid="leaf-1", code=FaultCode.UNKNOWN))
+        assert len(seen) == 3
+
+    def test_event_describe_is_stable(self):
+        event = PolicyChanged(
+            timestamp=3,
+            object_uid="filter:t/f",
+            object_type=None,
+            operation=Operation.MODIFY,
+        )
+        assert "policy-changed modify filter:t/f" in event.describe()
+
+
+class TestTcamListeners:
+    def test_install_and_remove_kinds(self):
+        table = TcamTable()
+        seen = []
+        table.subscribe(lambda kind, rule: seen.append((kind, rule.port)))
+        rule = make_rule(80)
+        table.install(rule)
+        table.install(rule)  # already present: no event
+        table.remove(rule.match_key())
+        table.remove(rule.match_key())  # absent: no event
+        assert seen == [("installed", 80), ("removed", 80)]
+
+    def test_reject_and_evict_kinds(self):
+        rejecting = TcamTable(capacity=1)
+        seen = []
+        rejecting.subscribe(lambda kind, rule: seen.append((kind, rule.port)))
+        rejecting.install(make_rule(1))
+        rejecting.install(make_rule(2))
+        assert seen == [("installed", 1), ("rejected", 2)]
+
+        evicting = TcamTable(capacity=1, evict_on_overflow=True)
+        seen = []
+        evicting.subscribe(lambda kind, rule: seen.append((kind, rule.port)))
+        evicting.install(make_rule(1))
+        evicting.install(make_rule(2))
+        assert seen == [("installed", 1), ("evicted", 1), ("installed", 2)]
+
+    def test_corrupt_clear_and_remove_where_notify(self):
+        table = TcamTable()
+        seen = []
+        table.install(make_rule(1))
+        table.install(make_rule(2))
+        table.subscribe(lambda kind, rule: seen.append((kind, rule.port)))
+        table.corrupt(random.Random(5), count=1)
+        # The lost original and, when no collision eats it, the garbage
+        # replacement the hardware now holds.
+        assert [kind for kind, _ in seen] in (
+            ["corrupted"],
+            ["corrupted", "installed"],
+        )
+        seen.clear()
+        table.remove_where(lambda rule: rule.port is not None and rule.port < 1000)
+        assert {kind for kind, _ in seen} == {"removed"}
+        seen.clear()
+        table.install(make_rule(3))
+        table.clear()
+        assert seen == [("installed", 3), ("removed", 3)]
+
+    def test_unsubscribe(self):
+        table = TcamTable()
+        seen = []
+        handler = table.subscribe(lambda kind, rule: seen.append(kind))
+        table.unsubscribe(handler)
+        table.unsubscribe(handler)
+        table.install(make_rule())
+        assert seen == []
+
+
+class TestFaultLogListeners:
+    def test_raise_notifies_and_extend_does_not(self):
+        book = FaultLogBook()
+        seen = []
+        book.subscribe(seen.append)
+        record = book.raise_fault(3, "leaf-1", FaultCode.TCAM_OVERFLOW)
+        assert seen == [record]
+        merged = FaultLogBook()
+        merged.subscribe(seen.append)
+        merged.extend(book.records())
+        assert len(seen) == 1
+
+
+class TestInstrumentation:
+    def test_policy_change_and_tcam_writes_become_events(self, three_tier):
+        bus = EventBus()
+        inst = instrument(three_tier.controller, bus)
+        assert len(inst) > 0
+
+        contract_uid = three_tier.uids["app_db_contract"]
+        contract = three_tier.policy.tenants["webshop"].contracts[contract_uid]
+        updated = Contract(uid=contract.uid, name=contract.name, filter_uids=contract.filter_uids)
+        three_tier.controller.modify_object("webshop", updated, detail="noop modify")
+        changed = [e for e in bus.history if isinstance(e, PolicyChanged)]
+        assert [e.object_uid for e in changed] == [contract_uid]
+        assert changed[0].operation is Operation.MODIFY
+
+        switch = three_tier.fabric.switch("leaf-2")
+        removed = switch.tcam.remove_where(lambda rule: True)
+        lost = [e for e in bus.history if isinstance(e, RuleLost)]
+        assert len(lost) == len(removed)
+        assert {e.switch_uid for e in lost} == {"leaf-2"}
+        switch.sync_tcam()
+        installed = [e for e in bus.history if isinstance(e, RuleInstalled)]
+        assert len(installed) == len(removed)
+
+        switch.make_unresponsive()
+        faults = [e for e in bus.history if isinstance(e, DeviceFault)]
+        assert faults and faults[-1].code is FaultCode.SWITCH_UNREACHABLE
+
+    def test_detach_silences_the_bus(self, three_tier):
+        bus = EventBus()
+        inst = instrument(three_tier.controller, bus)
+        inst.detach()
+        assert len(inst) == 0
+        three_tier.fabric.switch("leaf-1").tcam.remove_where(lambda rule: True)
+        three_tier.fabric.switch("leaf-1").make_unresponsive()
+        assert bus.total_events() == 0
