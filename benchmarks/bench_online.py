@@ -21,7 +21,6 @@ The acceptance bar is a ≥10× speedup of the incremental checker; with
 
 from __future__ import annotations
 
-import os
 import statistics
 import time
 
@@ -32,7 +31,7 @@ from repro.policy.objects import Filter, FilterEntry, ObjectType
 from repro.protocol import Operation
 from repro.workloads import simulation_profile
 
-from conftest import emit_bench_json, full_scale
+from conftest import emit_bench_json, full_scale, lax
 
 SPEEDUP_FLOOR = 10.0
 
@@ -119,7 +118,7 @@ def test_incremental_recheck_vs_full_sweep():
     # ... and must beat the full recheck by at least the acceptance floor.
     # REPRO_BENCH_LAX=1 (set on shared CI runners, where millisecond-scale
     # medians are noisy) records the ratio without gating on it.
-    if os.environ.get("REPRO_BENCH_LAX", "0") in ("", "0", "false", "no"):
+    if not lax():
         assert speedup >= SPEEDUP_FLOOR, (
             f"incremental recheck only {speedup:.1f}x faster than the full sweep"
         )

@@ -1,0 +1,119 @@
+"""Benchmark: sharded parallel full-fabric check vs. the serial sweep.
+
+Two claims are measured and gated:
+
+* **speedup** — on the ``datacenter_profile`` fabric (512 leaves, ~90k
+  deployed rules, every switch in the exact-BDD range) a 4-worker process
+  pool must complete the full L-T sweep at least ``SPEEDUP_FLOOR`` times
+  faster than the serial ``ScoutSystem.check()``.  The floor is only
+  enforced on machines with enough cores (and not under
+  ``REPRO_BENCH_LAX=1``, which CI sets because shared runners are noisy);
+  the measured ratio is always recorded in ``BENCH_parallel.json``.
+* **identity** — the parallel and serial reports must be *byte-identical*
+  (equal :meth:`EquivalenceReport.fingerprint`) on every paper profile:
+  testbed, simulation and production-cluster, with faults injected so the
+  reports are non-trivial.  This is gated unconditionally — a wrong answer
+  is never excused by a fast one.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import statistics
+import time
+
+from repro.core import ScoutSystem
+from repro.experiments import prepare_workload
+from repro.faults.injector import FaultInjector
+# ``testbed_profile`` is imported under an alias: its name matches pytest's
+# ``test*`` collection pattern and would otherwise be run as a test.
+from repro.workloads import datacenter_profile, production_cluster_profile
+from repro.workloads import simulation_profile
+from repro.workloads import testbed_profile as paper_testbed_profile
+
+from conftest import emit_bench_json, full_scale, lax
+
+SPEEDUP_FLOOR = 2.0
+WORKERS = 4
+
+
+def test_sharded_parallel_sweep_vs_serial():
+    rounds = 3 if full_scale() else 2
+    dep = prepare_workload(datacenter_profile())
+    system = ScoutSystem(dep.controller)
+    total_switches = len(dep.controller.fabric.switches)
+
+    serial_times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        serial_report = system.check()
+        serial_times.append(time.perf_counter() - start)
+    serial_seconds = statistics.median(serial_times)
+
+    parallel_times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        parallel_report = system.check(parallel=True, max_workers=WORKERS)
+        parallel_times.append(time.perf_counter() - start)
+    parallel_seconds = statistics.median(parallel_times)
+
+    # Identity on the fabric being timed, then on every paper profile.
+    assert serial_report.fingerprint() == parallel_report.fingerprint()
+    identity_profiles = {}
+    paper_profiles = (
+        paper_testbed_profile(),
+        simulation_profile(),
+        production_cluster_profile(),
+    )
+    for profile in paper_profiles:
+        faulty = prepare_workload(profile)
+        injector = FaultInjector(faulty.controller, rng=random.Random(2018))
+        injector.inject_random_faults(4)
+        faulty_system = ScoutSystem(faulty.controller)
+        serial_fp = faulty_system.check().fingerprint()
+        parallel_fp = faulty_system.check(
+            parallel=True, max_workers=WORKERS
+        ).fingerprint()
+        assert serial_fp == parallel_fp, f"report mismatch on {profile.name}"
+        identity_profiles[profile.name] = serial_fp
+
+    speedup = serial_seconds / parallel_seconds
+    cpu_count = os.cpu_count() or 1
+    enforced = not lax() and cpu_count >= WORKERS
+    print()
+    print(f"fabric:                        {total_switches} switches")
+    print(f"serial ScoutSystem.check():    {serial_seconds:8.2f} s")
+    print(
+        f"parallel check ({WORKERS} workers):   "
+        f"{parallel_seconds:8.2f} s  ({speedup:.2f}x)"
+    )
+    print(f"identity profiles verified:    {', '.join(identity_profiles)}")
+    if enforced:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"parallel sweep only {speedup:.2f}x faster than serial "
+            f"(floor {SPEEDUP_FLOOR}x on {cpu_count} cores)"
+        )
+    else:
+        print(
+            f"(floor {SPEEDUP_FLOOR}x not enforced: "
+            f"lax={lax()}, cpu_count={cpu_count})"
+        )
+
+    emit_bench_json(
+        "parallel",
+        {
+            "profile": "datacenter-512",
+            "rounds": rounds,
+            "workers": WORKERS,
+            "total_switches": total_switches,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "floor_enforced": enforced,
+            "cpu_count": cpu_count,
+            "reports_identical": True,
+            "identity_profiles": sorted(identity_profiles),
+        },
+    )

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Sanity-check emitted ``BENCH_*.json`` files (used as a CI gate).
+
+``REPRO_BENCH_LAX=1`` keeps the wall-clock *floors* from failing noisy
+shared runners, but a benchmark whose emitter broke — missing file, empty
+payload, absent or non-positive ``speedup`` — must fail the build even
+there.  Usage::
+
+    python check_bench_json.py BENCH_online.json BENCH_parallel.json
+
+Exits non-zero (listing every problem) unless each file exists, parses as
+a JSON object and carries a finite ``speedup`` strictly greater than 0.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+
+def check_file(path: Path) -> list:
+    problems = []
+    if not path.is_file():
+        return [f"{path}: file not found"]
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"{path}: invalid JSON ({exc})"]
+    if not isinstance(payload, dict) or not payload:
+        return [f"{path}: payload must be a non-empty JSON object"]
+    speedup = payload.get("speedup")
+    if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
+        problems.append(f"{path}: 'speedup' missing or not a number: {speedup!r}")
+    elif not math.isfinite(speedup) or speedup <= 0:
+        problems.append(f"{path}: 'speedup' must be finite and > 0, got {speedup}")
+    return problems
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print("usage: check_bench_json.py BENCH_file.json [...]", file=sys.stderr)
+        return 2
+    problems = []
+    for name in argv:
+        problems.extend(check_file(Path(name)))
+    for problem in problems:
+        print(f"BENCH sanity: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"BENCH sanity: {len(argv)} file(s) ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

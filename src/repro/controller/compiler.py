@@ -13,7 +13,7 @@ Two outputs, both derived from the same :class:`~repro.policy.graph.PolicyIndex`
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..policy.graph import PolicyIndex
 from ..policy.objects import PolicyObject

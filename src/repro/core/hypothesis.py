@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Set
+from typing import Hashable, List, Optional, Set
 
 __all__ = ["SelectionReason", "HypothesisEntry", "Hypothesis"]
 

@@ -15,7 +15,7 @@ faulted) and ``H`` the hypothesis produced by a localizer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, Sequence, Set, Tuple
 
 from ..risk.model import RiskModel
 from .hypothesis import Hypothesis

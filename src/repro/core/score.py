@@ -20,7 +20,7 @@ The implementation follows the classic greedy loop:
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Optional, Set
+from typing import Hashable, Optional, Set
 
 from ..exceptions import LocalizationError
 from ..risk.model import RiskModel

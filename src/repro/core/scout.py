@@ -24,10 +24,9 @@ wrapping :class:`repro.controller.changelog.ChangeLog` with a recency window.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Protocol, Set
+from typing import Dict, Hashable, Iterable, Optional, Protocol, Set
 
 from ..controller.changelog import ChangeLog
-from ..exceptions import LocalizationError
 from ..risk.model import RiskModel
 from .hypothesis import Hypothesis, HypothesisEntry, SelectionReason
 

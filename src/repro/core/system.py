@@ -20,8 +20,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Literal, Optional, Sequence, Set
 
 from ..controller.controller import Controller
+from ..parallel.engine import plan_for_report
+from ..parallel.shards import ShardPlan, clamp_workers
 from ..policy.graph import PolicyIndex
-from ..risk.augment import augment_controller_model, augment_switch_model
+from ..risk.augment import (
+    augment_controller_model,
+    augment_controller_model_sharded,
+    augment_switch_model,
+)
 from ..risk.controller_model import build_controller_risk_model
 from ..risk.model import RiskModel
 from ..risk.switch_model import build_switch_risk_model
@@ -105,10 +111,31 @@ class ScoutSystem:
     # ------------------------------------------------------------------ #
     # Step 1: L-T equivalence check
     # ------------------------------------------------------------------ #
-    def check(self, index: Optional[PolicyIndex] = None) -> EquivalenceReport:
-        """Compare desired (L) and deployed (T) rules across the fabric."""
+    def check(
+        self,
+        index: Optional[PolicyIndex] = None,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+        executor=None,
+    ) -> EquivalenceReport:
+        """Compare desired (L) and deployed (T) rules across the fabric.
+
+        With ``parallel=True`` (or an explicit ``executor``) the per-switch
+        checks run through the sharded engine — a process pool of
+        ``max_workers`` on large fabrics, the deterministic in-process
+        fallback on small ones.  The report is identical either way; only
+        the wall-clock differs.
+        """
         logical = self.controller.logical_rules(index=index)
         deployed = self.controller.collect_deployed_rules()
+        if parallel or executor is not None:
+            switches = [
+                (uid, logical.get(uid, ()), deployed.get(uid, ()))
+                for uid in sorted(set(logical) | set(deployed))
+            ]
+            return self.checker.check_many(
+                switches, executor=executor, max_workers=max_workers
+            )
         return self.checker.check_network(logical, deployed)
 
     # ------------------------------------------------------------------ #
@@ -119,10 +146,27 @@ class ScoutSystem:
         scope: Scope = "controller",
         report: Optional[EquivalenceReport] = None,
         correlate: bool = True,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+        shard_plan: Optional[ShardPlan] = None,
     ) -> ScoutReport:
-        """Run the full pipeline and return a :class:`ScoutReport`."""
+        """Run the full pipeline and return a :class:`ScoutReport`.
+
+        ``parallel=True`` shards the equivalence sweep across
+        ``max_workers`` processes and applies the risk-model augmentation
+        shard batch by shard batch (along ``shard_plan``, or a plan derived
+        from the report): SCOUT itself consumes the merged observations
+        unchanged, so the hypothesis is identical to a serial run.
+        """
         index = self.controller.build_index()
-        equivalence = report or self.check(index=index)
+        equivalence = report or self.check(
+            index=index, parallel=parallel, max_workers=max_workers
+        )
+        if shard_plan is None and parallel:
+            shard_plan = plan_for_report(
+                equivalence,
+                clamp_workers(max_workers, total_items=len(equivalence.results)),
+            )
         missing_by_switch = equivalence.missing_rules()
 
         risk_models: Dict[str, RiskModel] = {}
@@ -144,9 +188,17 @@ class ScoutSystem:
                 index=index,
                 include_switch_risks=self.include_switch_risks,
             )
-            augment_controller_model(
-                model, missing_by_switch, include_switch_risks=self.include_switch_risks
-            )
+            if shard_plan is not None:
+                augment_controller_model_sharded(
+                    model,
+                    missing_by_switch,
+                    shard_plan,
+                    include_switch_risks=self.include_switch_risks,
+                )
+            else:
+                augment_controller_model(
+                    model, missing_by_switch, include_switch_risks=self.include_switch_risks
+                )
             risk_models["controller"] = model
             hypothesis = self.localizer.localize(model)
 

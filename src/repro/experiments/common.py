@@ -16,19 +16,14 @@ restored state is byte-identical to a fresh deployment.
 
 from __future__ import annotations
 
-import random
 import statistics
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..controller.controller import Controller
-from ..core.hypothesis import Hypothesis
-from ..core.metrics import accuracy
 from ..core.score import ScoreLocalizer
 from ..core.scout import RecentChangeOracle, ScoutLocalizer
-from ..faults.injector import FaultInjector
 from ..policy.graph import PolicyIndex
-from ..risk.augment import augment_controller_model, augment_switch_model
 from ..risk.controller_model import build_controller_risk_model
 from ..risk.model import RiskModel
 from ..risk.switch_model import build_switch_risk_model

@@ -18,7 +18,7 @@ shape can be compared directly against the paper's bullets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..policy.graph import PolicyIndex, epg_pairs_per_object
 from ..policy.objects import ObjectType

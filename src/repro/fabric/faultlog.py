@@ -16,7 +16,7 @@ detail.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional
 
 __all__ = ["FaultCode", "FaultRecord", "FaultLogBook"]

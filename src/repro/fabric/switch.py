@@ -29,7 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..clock import LogicalClock
 from ..exceptions import FabricError
-from ..policy.objects import Contract, Endpoint, Epg, Filter, PolicyObject, Vrf
+from ..policy.objects import Contract, Epg, Filter, PolicyObject, Vrf
 from ..protocol import AttachEndpoint, Instruction, Operation
 from ..rules import TcamRule, rules_for_pair_entry
 from .faultlog import FaultCode, FaultLogBook

@@ -13,7 +13,7 @@ The topology is a thin, validated wrapper around a ``networkx.Graph``.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List
 
 import networkx as nx
 

@@ -12,7 +12,7 @@ the event correlation engine both rely on.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set
 
 from ..controller.controller import Controller
 from ..exceptions import FaultInjectionError

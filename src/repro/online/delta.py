@@ -267,12 +267,23 @@ class IncrementalChecker:
         return report
 
     def refresh(
-        self, switch_uids: Optional[Sequence[str]] = None
+        self,
+        switch_uids: Optional[Sequence[str]] = None,
+        executor=None,
+        max_workers: Optional[int] = None,
     ) -> Dict[str, SwitchCheckResult]:
         """Re-check the dirty switches (plus any explicitly named ones).
 
         Returns the fresh result for every switch that was re-validated.
         Never-bootstrapped checkers bootstrap first and report every switch.
+
+        A multi-event burst (a deployment storm, a rack losing power) can
+        dirty a large slice of the fabric at once; passing ``max_workers``
+        (or an ``executor``) batches the blast radius through the same
+        shard planner the full-fabric parallel sweep uses.  Digest
+        short-circuits still happen inline — only switches whose
+        fingerprints disagree are shipped to the shard engine — and
+        results are identical to the serial path.
         """
         if self._index is None:
             report = self.bootstrap()
@@ -285,12 +296,36 @@ class IncrementalChecker:
             self._apply_pair(pair)
         self._dirty_pairs.clear()
         refreshed: Dict[str, SwitchCheckResult] = {}
+        pending: list = []
+        use_batch = executor is not None or (max_workers is not None and max_workers != 1)
         for switch_uid in sorted(self._dirty):
-            refreshed[switch_uid] = self._check_one(switch_uid)
+            if (
+                switch_uid not in self.controller.fabric.switches
+                and switch_uid not in self._switch_rules
+            ):
+                # Neither an L nor a T side exists (a typo'd or decommissioned
+                # switch): fabricating a clean verdict would mask the mistake,
+                # and a serial check_network would emit nothing for it either.
+                self._results.pop(switch_uid, None)
+                self._digests.pop(switch_uid, None)
+                continue
+            if not use_batch:
+                refreshed[switch_uid] = self._check_one(switch_uid)
+                continue
+            logical_map, deployed, digest = self._digest_one(switch_uid)
+            if digest.clean:
+                refreshed[switch_uid] = self._clean_result(
+                    switch_uid, logical_map, deployed
+                )
+            else:
+                pending.append((switch_uid, list(logical_map.values()), deployed))
+        if pending:
+            refreshed.update(self._check_batch(pending, executor, max_workers))
         self._dirty.clear()
         return refreshed
 
-    def _check_one(self, switch_uid: str) -> SwitchCheckResult:
+    def _digest_one(self, switch_uid: str):
+        """Fingerprint one switch's live L and T sides (cheap, in-process)."""
         logical_map = self._switch_rules.get(switch_uid, {})
         switch = self.controller.fabric.switches.get(switch_uid)
         deployed = switch.deployed_rules() if switch is not None else []
@@ -299,22 +334,52 @@ class IncrementalChecker:
             deployed=frozenset(rule.match_key() for rule in deployed),
         )
         self._digests[switch_uid] = digest
-        if digest.clean:
-            self.digest_short_circuits += 1
-            result = SwitchCheckResult(
-                switch_uid=switch_uid,
-                equivalent=True,
-                logical_count=len(logical_map),
-                deployed_count=len(deployed),
-                engine="digest",
-            )
-        else:
-            self.switch_checks += 1
-            result = self.checker.check_switch(
-                switch_uid, list(logical_map.values()), deployed
-            )
+        return logical_map, deployed, digest
+
+    def _clean_result(
+        self, switch_uid: str, logical_map: Dict, deployed: Sequence[TcamRule]
+    ) -> SwitchCheckResult:
+        """Record the digest-proven-equivalent verdict for one switch."""
+        self.digest_short_circuits += 1
+        result = SwitchCheckResult(
+            switch_uid=switch_uid,
+            equivalent=True,
+            logical_count=len(logical_map),
+            deployed_count=len(deployed),
+            engine="digest",
+        )
         self._results[switch_uid] = result
         return result
+
+    def _check_one(self, switch_uid: str) -> SwitchCheckResult:
+        logical_map, deployed, digest = self._digest_one(switch_uid)
+        if digest.clean:
+            return self._clean_result(switch_uid, logical_map, deployed)
+        self.switch_checks += 1
+        result = self.checker.check_switch(
+            switch_uid, list(logical_map.values()), deployed
+        )
+        self._results[switch_uid] = result
+        return result
+
+    def _check_batch(
+        self,
+        pending: Sequence[tuple],
+        executor,
+        max_workers: Optional[int],
+    ) -> Dict[str, SwitchCheckResult]:
+        """Ship digest-failing switches to the shard engine as one batch.
+
+        ``check_many`` plans the shards itself (rule-count-weighted LPT, the
+        same planner the full-fabric sweep uses), so the blast radius is
+        balanced the same way a full parallel check would balance it.
+        """
+        report = self.checker.check_many(
+            pending, executor=executor, max_workers=max_workers
+        )
+        self.switch_checks += len(report.results)
+        self._results.update(report.results)
+        return dict(report.results)
 
     # ------------------------------------------------------------------ #
     # State access

@@ -1,0 +1,44 @@
+"""Sharded parallel verification.
+
+The L-T equivalence check is embarrassingly parallel across switches, so
+this package partitions the fabric into balanced shards
+(:mod:`~repro.parallel.shards`), runs each shard's per-switch checks in a
+``concurrent.futures`` process pool — or a deterministic in-process
+fallback (:mod:`~repro.parallel.executor`) — and merges the results into
+one network-wide :class:`~repro.verify.checker.EquivalenceReport`
+(:mod:`~repro.parallel.engine`).
+
+The entry points most callers want live on the existing classes:
+
+* :meth:`repro.verify.checker.EquivalenceChecker.check_many` — the batch
+  API over (uid, logical, deployed) triples;
+* :meth:`repro.core.system.ScoutSystem.check` with ``parallel=True`` —
+  the full-fabric sweep, sharded;
+* :meth:`repro.online.delta.IncrementalChecker.refresh` with a worker
+  count — multi-event blast radii batched through the same shard planner.
+"""
+
+from .engine import (
+    ShardTask,
+    SwitchWorkOutcome,
+    SwitchWorkUnit,
+    check_switches,
+    plan_for_report,
+    run_shard,
+)
+from .executor import SerialExecutor, resolve_executor
+from .shards import ShardPlan, clamp_workers, plan_shards
+
+__all__ = [
+    "SerialExecutor",
+    "ShardPlan",
+    "ShardTask",
+    "SwitchWorkOutcome",
+    "SwitchWorkUnit",
+    "check_switches",
+    "clamp_workers",
+    "plan_for_report",
+    "plan_shards",
+    "resolve_executor",
+    "run_shard",
+]

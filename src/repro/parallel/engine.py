@@ -1,0 +1,261 @@
+"""The sharded parallel L-T equivalence engine.
+
+The unit of distribution is a *shard* of switches, not a single switch:
+per-switch checks are only milliseconds each, so shipping them one at a
+time would drown in pickling and scheduling overhead.  A shard task is a
+pure-data description of its switches' rule sets:
+
+* rules cross the process boundary as **match keys** — the
+  ``(vrf, src, dst, protocol, port, action)`` tuples that fully determine
+  L-T semantics — never as policy-laden :class:`~repro.rules.TcamRule`
+  objects, keeping pickles small;
+* the worker reconstructs bare rules from the keys, builds the ROBDDs
+  locally (BDD managers never cross process boundaries) and returns match
+  keys for the missing/extra sides;
+* the parent *rehydrates* those keys back into the original rule objects —
+  provenance intact — so a merged :class:`EquivalenceReport` is
+  indistinguishable from one produced by the serial sweep.
+
+Rehydration is exact because rule-set semantics are a pure function of the
+match keys: a logical rule lands in ``missing_rules`` iff its key does,
+whichever process evaluated the BDD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..rules import MatchKey, TcamRule
+from ..verify.checker import EquivalenceChecker, EquivalenceReport, SwitchCheckResult
+from ..verify.encoding import RuleSpace
+from .executor import resolve_executor
+from .shards import ShardPlan, clamp_workers, plan_shards
+
+__all__ = [
+    "ShardTask",
+    "SwitchWorkUnit",
+    "SwitchWorkOutcome",
+    "check_switches",
+    "plan_for_report",
+    "run_shard",
+]
+
+#: Switch triple accepted by the batch APIs: (uid, logical rules, deployed rules).
+SwitchTriple = Tuple[str, Sequence[TcamRule], Sequence[TcamRule]]
+
+
+@dataclass(frozen=True)
+class SwitchWorkUnit:
+    """One switch's rule sets, serialized to match keys (picklable)."""
+
+    switch_uid: str
+    logical: Tuple[MatchKey, ...]
+    deployed: Tuple[MatchKey, ...]
+
+
+@dataclass(frozen=True)
+class SwitchWorkOutcome:
+    """What the worker learned about one switch (match keys only)."""
+
+    switch_uid: str
+    equivalent: bool
+    missing: Tuple[MatchKey, ...]
+    extra: Tuple[MatchKey, ...]
+    logical_count: int
+    deployed_count: int
+    engine: str
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """A batch of work units plus the checker configuration to apply.
+
+    The rule space travels as its field bit-widths — four integers — so the
+    worker can rebuild an identical encoder without pickling BDD state.
+    """
+
+    units: Tuple[SwitchWorkUnit, ...]
+    engine: str
+    bdd_limit: int
+    space_widths: Tuple[int, int, int, int]
+
+
+def _work_unit(
+    switch_uid: str,
+    logical: Sequence[TcamRule],
+    deployed: Sequence[TcamRule],
+) -> SwitchWorkUnit:
+    return SwitchWorkUnit(
+        switch_uid=switch_uid,
+        logical=tuple(rule.match_key() for rule in logical),
+        deployed=tuple(rule.match_key() for rule in deployed),
+    )
+
+
+def _rule_from_key(key: MatchKey) -> TcamRule:
+    vrf_scope, src_epg, dst_epg, protocol, port, action = key
+    return TcamRule(
+        vrf_scope=vrf_scope,
+        src_epg=src_epg,
+        dst_epg=dst_epg,
+        protocol=protocol,
+        port=port,
+        action=action,
+    )
+
+
+def run_shard(task: ShardTask) -> List[SwitchWorkOutcome]:
+    """Worker entry point: check every switch of one shard.
+
+    Must stay a module-level function so both ``fork`` and ``spawn`` start
+    methods can import it.
+    """
+    space = RuleSpace(*task.space_widths)
+    checker = EquivalenceChecker(
+        rule_space=space, engine=task.engine, bdd_limit=task.bdd_limit
+    )
+    outcomes: List[SwitchWorkOutcome] = []
+    for unit in task.units:
+        result = checker.check_switch(
+            unit.switch_uid,
+            [_rule_from_key(key) for key in unit.logical],
+            [_rule_from_key(key) for key in unit.deployed],
+        )
+        outcomes.append(
+            SwitchWorkOutcome(
+                switch_uid=unit.switch_uid,
+                equivalent=result.equivalent,
+                missing=tuple(rule.match_key() for rule in result.missing_rules),
+                extra=tuple(rule.match_key() for rule in result.extra_rules),
+                logical_count=result.logical_count,
+                deployed_count=result.deployed_count,
+                engine=result.engine,
+            )
+        )
+    return outcomes
+
+
+def _rehydrate(
+    outcome: SwitchWorkOutcome,
+    logical: Sequence[TcamRule],
+    deployed: Sequence[TcamRule],
+) -> SwitchCheckResult:
+    """Map a worker outcome back onto the parent's original rule objects.
+
+    Membership by match key reproduces the serial engine's selection exactly
+    (including order and duplicates), while restoring the provenance fields
+    the risk-model augmentation needs.  Equivalent switches — the vast
+    majority on a healthy fabric — skip the rule scans entirely.
+    """
+    missing_keys = set(outcome.missing)
+    extra_keys = set(outcome.extra)
+    missing_rules: List[TcamRule] = []
+    if missing_keys:
+        missing_rules = [
+            rule
+            for rule in logical
+            if rule.action == "allow" and rule.match_key() in missing_keys
+        ]
+    extra_rules: List[TcamRule] = []
+    if extra_keys:
+        extra_rules = [
+            rule
+            for rule in deployed
+            if rule.action == "allow" and rule.match_key() in extra_keys
+        ]
+    return SwitchCheckResult(
+        switch_uid=outcome.switch_uid,
+        equivalent=outcome.equivalent,
+        missing_rules=missing_rules,
+        extra_rules=extra_rules,
+        logical_count=outcome.logical_count,
+        deployed_count=outcome.deployed_count,
+        engine=outcome.engine,
+    )
+
+
+def _space_widths(space: RuleSpace) -> Tuple[int, int, int, int]:
+    return (
+        space.vrf.width,
+        space.src_epg.width,
+        space.protocol.width,
+        space.port.width,
+    )
+
+
+def plan_for_report(report: EquivalenceReport, num_shards: int) -> ShardPlan:
+    """A shard plan over a finished report's switches, weighted by rule count.
+
+    Downstream consumers (shard-level risk-model augmentation, batched
+    re-checks) reuse this so every stage of a parallel run agrees on which
+    switch belongs to which shard.
+    """
+    weights = {
+        uid: result.logical_count + result.deployed_count
+        for uid, result in report.results.items()
+    }
+    return plan_shards(report.results, num_shards, weights=weights)
+
+
+def check_switches(
+    checker: EquivalenceChecker,
+    switches: Iterable[SwitchTriple],
+    executor=None,
+    max_workers: Optional[int] = None,
+    plan: Optional[ShardPlan] = None,
+) -> EquivalenceReport:
+    """Check a batch of switches, possibly in parallel, into one report.
+
+    ``checker`` is the :class:`~repro.verify.checker.EquivalenceChecker`
+    whose configuration (engine selection, BDD limit, rule space) every
+    worker replicates.  The merged report lists switches in sorted-uid order
+    — byte-identical to :meth:`EquivalenceChecker.check_network` over the
+    same snapshots, whatever the executor or shard plan.
+    """
+    triples: Dict[str, Tuple[Sequence[TcamRule], Sequence[TcamRule]]] = {}
+    for switch_uid, logical, deployed in switches:
+        triples[switch_uid] = (list(logical), list(deployed))
+
+    if plan is None:
+        weights = {
+            uid: len(logical) + len(deployed)
+            for uid, (logical, deployed) in triples.items()
+        }
+        num_shards = clamp_workers(max_workers, total_items=len(triples))
+        plan = plan_shards(triples, num_shards, weights=weights)
+
+    tasks = []
+    for shard in plan.group(triples):
+        units = tuple(
+            _work_unit(uid, triples[uid][0], triples[uid][1])
+            for uid in shard
+            if uid in triples
+        )
+        if units:
+            tasks.append(
+                ShardTask(
+                    units=units,
+                    engine=checker.engine,
+                    bdd_limit=checker.bdd_limit,
+                    space_widths=_space_widths(checker.rule_space),
+                )
+            )
+
+    pool, owned = resolve_executor(
+        max_workers, num_tasks=len(triples), executor=executor
+    )
+    try:
+        outcomes: Dict[str, SwitchWorkOutcome] = {}
+        for shard_outcomes in pool.map(run_shard, tasks):
+            for outcome in shard_outcomes:
+                outcomes[outcome.switch_uid] = outcome
+    finally:
+        if owned:
+            pool.shutdown()
+
+    report = EquivalenceReport()
+    for switch_uid in sorted(triples):
+        logical, deployed = triples[switch_uid]
+        report.results[switch_uid] = _rehydrate(outcomes[switch_uid], logical, deployed)
+    return report

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence, Union
 
 from ..exceptions import PolicyError, UnknownObjectError
-from .objects import ANY_PORT, Contract, Endpoint, Epg, Filter, FilterEntry, Vrf
+from .objects import Contract, Endpoint, Epg, Filter, FilterEntry, Vrf
 from .tenant import NetworkPolicy, Tenant
 
 __all__ = ["PolicyBuilder"]

@@ -15,7 +15,7 @@ Two complementary views of the same information:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Mapping, Set
+from typing import Dict, List, Mapping, Set
 
 import networkx as nx
 

@@ -17,7 +17,7 @@ The container exposes the *dependency queries* at the heart of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..exceptions import DuplicateObjectError, UnknownObjectError
 from .objects import (
@@ -26,7 +26,6 @@ from .objects import (
     Epg,
     EpgPair,
     Filter,
-    ObjectType,
     PolicyObject,
     Vrf,
     pairs_from_epgs,

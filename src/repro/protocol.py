@@ -11,7 +11,7 @@ it without layering cycles.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .policy.objects import PolicyObject

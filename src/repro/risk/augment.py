@@ -27,6 +27,7 @@ from .model import RiskModel
 __all__ = [
     "augment_switch_model",
     "augment_controller_model",
+    "augment_controller_model_sharded",
     "augment_switch_models",
 ]
 
@@ -102,3 +103,32 @@ def augment_controller_model(
                     model.mark_edge_failed(element, uid)
                     flipped += 1
     return flipped
+
+
+def augment_controller_model_sharded(
+    model: RiskModel,
+    missing_by_switch: Mapping[str, Sequence[TcamRule]],
+    plan,
+    include_switch_risks: bool = True,
+) -> Dict[int, int]:
+    """Apply controller-model augmentation one shard batch at a time.
+
+    ``plan`` is a :class:`~repro.parallel.shards.ShardPlan`; each shard's
+    per-switch missing rules are merged into the model as one batch (dirty
+    switches the plan has never seen form a trailing batch, mirroring
+    ``ShardPlan.group``).  Marking an edge failed is a set insert, so the
+    batched passes commute: the augmented model — and therefore everything
+    SCOUT derives from the merged observations — is identical to what one
+    global :func:`augment_controller_model` pass produces.
+
+    Returns the number of flipped edges per shard batch.
+    """
+    flips: Dict[int, int] = {}
+    for batch_no, shard_uids in enumerate(plan.group(missing_by_switch)):
+        subset = {
+            uid: missing_by_switch[uid] for uid in shard_uids if uid in missing_by_switch
+        }
+        flips[batch_no] = augment_controller_model(
+            model, subset, include_switch_risks=include_switch_risks
+        )
+    return flips

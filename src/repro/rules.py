@@ -14,10 +14,10 @@ metadata and does not participate in L-T comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from .policy.objects import Endpoint, Epg, EpgPair, Filter, FilterEntry, Vrf
+from .policy.objects import Epg, EpgPair, Filter, FilterEntry, Vrf
 
 __all__ = [
     "Action",

@@ -21,7 +21,7 @@ The manager uses a fixed variable ordering: variable ``0`` is tested first
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..exceptions import VerificationError
 

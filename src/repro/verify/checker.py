@@ -30,8 +30,9 @@ where the paper itself only cares about rule counts.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Literal, Optional, Sequence
+from typing import Dict, Iterable, List, Literal, Optional, Sequence, Tuple
 
 from ..exceptions import VerificationError
 from ..rules import TcamRule
@@ -105,9 +106,57 @@ class EquivalenceReport:
             "extra_rules": self.total_extra(),
         }
 
+    def fingerprint(self) -> str:
+        """SHA-256 over a canonical serialization of every per-switch result.
+
+        Switches are serialized in sorted-uid order with their verdicts,
+        engines, counts and full rule tuples (provenance included), so two
+        reports carry the same fingerprint iff they are observably identical
+        — whichever engine, executor or shard plan produced them.  The
+        parallel verification benchmarks gate serial/parallel equality on
+        this.
+        """
+
+        def rule_bytes(rule: TcamRule) -> str:
+            return repr(
+                (
+                    rule.match_key(),
+                    rule.vrf_uid,
+                    rule.src_epg_uid,
+                    rule.dst_epg_uid,
+                    rule.contract_uid,
+                    rule.filter_uid,
+                )
+            )
+
+        digest = hashlib.sha256()
+        for switch_uid in sorted(self.results):
+            result = self.results[switch_uid]
+            digest.update(
+                repr(
+                    (
+                        switch_uid,
+                        result.equivalent,
+                        result.engine,
+                        result.logical_count,
+                        result.deployed_count,
+                        [rule_bytes(rule) for rule in result.missing_rules],
+                        [rule_bytes(rule) for rule in result.extra_rules],
+                    )
+                ).encode("utf-8")
+            )
+        return digest.hexdigest()
+
 
 class EquivalenceChecker:
-    """Compare desired (L) and deployed (T) rules and emit missing rules."""
+    """Compare desired (L) and deployed (T) rules and emit missing rules.
+
+    ``bdd_limit`` governs the ``engine="auto"`` choice per switch: the BDD
+    engine is used while the *combined* L+T rule count is at most
+    ``bdd_limit`` — the boundary is inclusive, a switch with exactly
+    ``bdd_limit`` rules across both snapshots is still checked with BDDs —
+    and the hash engine takes over strictly above it.
+    """
 
     def __init__(
         self,
@@ -151,10 +200,39 @@ class EquivalenceChecker:
             )
         return report
 
+    def check_many(
+        self,
+        switches: Iterable[Tuple[str, Sequence[TcamRule], Sequence[TcamRule]]],
+        executor=None,
+        max_workers: Optional[int] = None,
+        plan=None,
+    ) -> EquivalenceReport:
+        """Check a batch of ``(uid, logical, deployed)`` triples, sharded.
+
+        The batch counterpart of :meth:`check_switch`: per-switch work is
+        partitioned into balanced shards and dispatched — to ``executor``
+        when given (any ``concurrent.futures``-style executor, including the
+        deterministic :class:`~repro.parallel.executor.SerialExecutor`), to
+        a process pool of ``max_workers`` otherwise, or inline for small
+        batches.  Whatever runs the shards, the merged report is identical
+        to a serial :meth:`check_network` over the same snapshots.
+        """
+        from ..parallel.engine import check_switches
+
+        return check_switches(
+            self, switches, executor=executor, max_workers=max_workers, plan=plan
+        )
+
     # ------------------------------------------------------------------ #
     # Engines
     # ------------------------------------------------------------------ #
     def _select_engine(self, total_rules: int) -> str:
+        """Pick the engine for one switch's combined L+T rule count.
+
+        The auto boundary is inclusive: exactly ``bdd_limit`` rules still
+        selects the exact BDD engine (pinned by the unit tests); only
+        strictly larger rule sets fall back to the hash engine.
+        """
         if self.engine != "auto":
             return self.engine
         return "bdd" if total_rules <= self.bdd_limit else "hash"

@@ -13,7 +13,7 @@ the more specific L rules it subsumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Optional
 
 from ..exceptions import VerificationError
 from ..rules import TcamRule

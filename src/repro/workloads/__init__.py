@@ -3,6 +3,7 @@
 from .generator import GeneratedWorkload, generate_policy, generate_workload
 from .profiles import (
     WorkloadProfile,
+    datacenter_profile,
     production_cluster_profile,
     scaled_profile,
     simulation_profile,
@@ -20,6 +21,7 @@ __all__ = [
     "GeneratedWorkload",
     "Scenario",
     "WorkloadProfile",
+    "datacenter_profile",
     "generate_policy",
     "generate_workload",
     "large_unresponsive_switch_scenario",

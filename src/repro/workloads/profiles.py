@@ -14,16 +14,22 @@ and objects should be.  Three families of profiles are provided:
   small enough that hundreds of localization runs finish quickly;
 * ``testbed_profile`` — the small testbed policy of §VI-A (36 EPGs,
   24 contracts, 9 filters, ≈100 EPG pairs) with its characteristic *low*
-  degree of risk sharing.
+  degree of risk sharing;
+* ``datacenter_profile`` — the scalability experiment's fabric (§VI-D
+  scales the risk model to 500+ switches): hundreds of leaves with
+  production-like sharing, sized so every leaf's rule set stays within the
+  BDD engine's exact-check range.  This is the workload the sharded
+  parallel verification engine is benchmarked on.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 __all__ = [
     "WorkloadProfile",
+    "datacenter_profile",
     "production_cluster_profile",
     "simulation_profile",
     "testbed_profile",
@@ -123,6 +129,36 @@ def testbed_profile(seed: int = 2018) -> WorkloadProfile:
         epg_popularity_skew=0.6,
         vrf_size_skew=0.8,
         contract_reuse_probability=0.5,
+        seed=seed,
+    )
+
+
+def datacenter_profile(seed: int = 2018, num_leaves: int = 512) -> WorkloadProfile:
+    """A 500+-switch datacenter fabric for the parallel verification path.
+
+    The paper's scalability experiment (§VI-D) grows the controller risk
+    model to 500 switches; this profile is the matching *fabric*: hundreds
+    of leaves, a policy that scales with them, and per-leaf rule sets small
+    enough (~100-300 rules) that the auto engine checks every switch with
+    the exact BDD comparison — the CPU-bound work the process-pool sharding
+    is built to spread.
+    """
+    if num_leaves < 500:
+        raise ValueError(f"datacenter profile needs >= 500 leaves, got {num_leaves}")
+    return WorkloadProfile(
+        name=f"datacenter-{num_leaves}",
+        num_leaves=num_leaves,
+        num_spines=16,
+        num_vrfs=24,
+        num_epgs=12 * num_leaves,
+        num_contracts=9 * num_leaves,
+        num_filters=480,
+        target_pairs=12 * num_leaves,
+        endpoints_per_epg=(1, 2),
+        switches_per_epg=(1, 2),
+        epg_popularity_skew=1.0,
+        vrf_size_skew=1.2,
+        contract_reuse_probability=0.6,
         seed=seed,
     )
 

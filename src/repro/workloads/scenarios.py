@@ -8,7 +8,6 @@ examples and the integration tests both build on these.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -18,8 +17,8 @@ from ..policy.builder import PolicyBuilder, three_tier_policy
 from ..policy.objects import Contract, Filter, FilterEntry
 from ..policy.tenant import NetworkPolicy
 from ..faults.physical import make_switch_unresponsive
-from .generator import GeneratedWorkload, generate_workload
-from .profiles import WorkloadProfile, simulation_profile, testbed_profile
+from .generator import generate_workload
+from .profiles import WorkloadProfile, simulation_profile
 
 __all__ = [
     "Scenario",

@@ -6,8 +6,7 @@ import random
 
 import pytest
 
-from repro import Controller, Fabric
-from repro.policy import PolicyBuilder, three_tier_policy
+from repro import Controller
 from repro.workloads import (
     generate_workload,
     testbed_profile,

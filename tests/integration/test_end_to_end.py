@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro import Controller, Fabric
+from repro import Controller
 from repro.core import ScoreLocalizer, ScoutSystem, accuracy
 from repro.faults import FaultInjector, FaultKind
 from repro.verify import EquivalenceChecker

@@ -9,7 +9,7 @@ from repro.controller.changelog import ChangeLog
 from repro.controller.compiler import build_instruction_batches, compile_logical_rules
 from repro.exceptions import DeploymentError
 from repro.fabric import FaultCode
-from repro.policy import PolicyIndex, three_tier_policy
+from repro.policy import three_tier_policy
 from repro.policy.objects import Filter, FilterEntry, ObjectType
 from repro.protocol import DeliveryStatus, Operation
 from repro.rules import missing_matches

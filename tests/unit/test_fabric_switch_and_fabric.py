@@ -15,9 +15,9 @@ from repro.policy.graph import PolicyIndex
 def web_setup():
     """Figure 1 policy with endpoints attached; instruction batches prebuilt."""
     builder, uids = three_tier_policy()
-    ep1 = builder.endpoint("EP1", uids["web"], switch="leaf-1")
-    ep2 = builder.endpoint("EP2", uids["app"], switch="leaf-2")
-    ep3 = builder.endpoint("EP3", uids["db"], switch="leaf-3")
+    builder.endpoint("EP1", uids["web"], switch="leaf-1")
+    builder.endpoint("EP2", uids["app"], switch="leaf-2")
+    builder.endpoint("EP3", uids["db"], switch="leaf-3")
     policy = builder.build()
     index = PolicyIndex(policy)
     batches = build_instruction_batches(policy, index=index)

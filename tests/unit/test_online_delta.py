@@ -6,7 +6,6 @@ from repro.controller.compiler import (
 )
 from repro.online import IncrementalChecker
 from repro.policy.objects import Filter, FilterEntry, ObjectType
-from repro.workloads import three_tier_scenario
 
 
 def checker_for(scenario) -> IncrementalChecker:
@@ -44,6 +43,14 @@ class TestBootstrapAndDigests:
 
 
 class TestSwitchEvents:
+    def test_unknown_switch_uid_yields_no_fabricated_result(self, three_tier):
+        delta = checker_for(three_tier)
+        refreshed = delta.refresh(switch_uids=["leaf-404"])
+        assert refreshed == {}
+        assert delta.result_for("leaf-404") is None
+        assert "leaf-404" not in delta.report().results
+        assert delta.dirty_switches() == set()
+
     def test_rule_loss_rechecks_only_that_switch(self, three_tier):
         delta = checker_for(three_tier)
         switch = three_tier.fabric.switch("leaf-2")

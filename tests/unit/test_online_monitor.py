@@ -4,7 +4,6 @@ import pytest
 
 from repro.fabric import FaultCode
 from repro.online import IncidentStore, NetworkMonitor
-from repro.workloads import three_tier_scenario
 
 
 @pytest.fixture

@@ -1,0 +1,189 @@
+"""Serial/parallel equality of the sharded verification engine.
+
+The engine's one correctness obligation: whatever executor or shard plan
+runs the per-switch checks, the merged report must be indistinguishable
+from the serial sweep — same verdicts, same rule objects (provenance
+included), same fingerprint.  These tests pin that on the synthetic
+workloads, including the ``simulation_profile`` the accuracy experiments
+use, and cover the work-unit plumbing the process pool relies on.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core import ScoutSystem
+from repro.experiments import prepare_workload
+from repro.faults.injector import FaultInjector
+from repro.online import IncrementalChecker
+from repro.parallel import SerialExecutor, plan_shards
+from repro.parallel.engine import ShardTask, SwitchWorkUnit, run_shard
+from repro.risk.augment import (
+    augment_controller_model,
+    augment_controller_model_sharded,
+)
+from repro.rules import TcamRule
+from repro.verify import EquivalenceChecker
+from repro.workloads import simulation_profile
+
+
+def _rule(port, src=1, dst=2, protocol="tcp", vrf=101, action="allow"):
+    return TcamRule(
+        vrf,
+        src,
+        dst,
+        protocol,
+        port,
+        action=action,
+        vrf_uid="vrf:t/v",
+        src_epg_uid=f"epg:t/{src}",
+        dst_epg_uid=f"epg:t/{dst}",
+        contract_uid="contract:t/c",
+        filter_uid="filter:t/f",
+    )
+
+
+@pytest.fixture(scope="module")
+def faulty_simulation():
+    """The simulation-profile workload with injected faults (module-shared)."""
+    deployed = prepare_workload(simulation_profile())
+    FaultInjector(deployed.controller, rng=random.Random(99)).inject_random_faults(4)
+    return deployed
+
+
+class TestCheckMany:
+    def test_serial_and_sharded_reports_identical_on_simulation(
+        self, faulty_simulation
+    ):
+        controller = faulty_simulation.controller
+        checker = EquivalenceChecker()
+        logical = controller.logical_rules()
+        deployed = controller.collect_deployed_rules()
+        serial = checker.check_network(logical, deployed)
+        triples = [
+            (uid, logical.get(uid, ()), deployed.get(uid, ()))
+            for uid in set(logical) | set(deployed)
+        ]
+        plan = plan_shards([t[0] for t in triples], 4)
+        sharded = checker.check_many(triples, executor=SerialExecutor(), plan=plan)
+        assert sharded.fingerprint() == serial.fingerprint()
+        assert sharded.results == serial.results
+        assert not serial.equivalent  # faults were injected: non-trivial
+
+    def test_process_pool_matches_serial(self, faulty_simulation):
+        controller = faulty_simulation.controller
+        system = ScoutSystem(controller)
+        serial = system.check()
+        pooled = system.check(parallel=True, max_workers=2)
+        assert pooled.fingerprint() == serial.fingerprint()
+
+    def test_plan_is_optional_and_any_shard_count_agrees(self, faulty_simulation):
+        controller = faulty_simulation.controller
+        checker = EquivalenceChecker()
+        logical = controller.logical_rules()
+        deployed = controller.collect_deployed_rules()
+        triples = [(uid, logical[uid], deployed.get(uid, ())) for uid in logical]
+        unplanned = checker.check_many(triples, executor=SerialExecutor())
+        one_big_shard = checker.check_many(
+            triples,
+            executor=SerialExecutor(),
+            plan=plan_shards([t[0] for t in triples], 1),
+        )
+        assert unplanned.fingerprint() == one_big_shard.fingerprint()
+
+    def test_provenance_survives_the_process_boundary(self):
+        checker = EquivalenceChecker()
+        logical = [_rule(80), _rule(443)]
+        deployed = [_rule(80)]
+        report = checker.check_many(
+            [("leaf-1", logical, deployed)], executor=SerialExecutor()
+        )
+        (missing,) = report.results["leaf-1"].missing_rules
+        assert missing is logical[1]  # the parent's own object, not a copy
+        assert missing.contract_uid == "contract:t/c"
+
+    def test_empty_batch(self):
+        report = EquivalenceChecker().check_many([], executor=SerialExecutor())
+        assert report.results == {}
+        assert report.equivalent
+
+
+class TestWorkUnits:
+    def test_shard_task_round_trips_through_pickle(self):
+        unit = SwitchWorkUnit(
+            switch_uid="leaf-1",
+            logical=tuple(r.match_key() for r in [_rule(80), _rule(443)]),
+            deployed=(_rule(80).match_key(),),
+        )
+        task = ShardTask(
+            units=(unit,), engine="auto", bdd_limit=4000, space_widths=(13, 15, 2, 16)
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone == task
+        (outcome,) = run_shard(clone)
+        assert not outcome.equivalent
+        assert outcome.missing == (_rule(443).match_key(),)
+        assert outcome.engine == "bdd"
+
+    def test_worker_respects_checker_configuration(self):
+        unit = SwitchWorkUnit(
+            switch_uid="leaf-1",
+            logical=tuple(r.match_key() for r in [_rule(p) for p in range(80, 90)]),
+            deployed=tuple(r.match_key() for r in [_rule(p) for p in range(80, 90)]),
+        )
+        task = ShardTask(
+            units=(unit,), engine="auto", bdd_limit=5, space_widths=(13, 15, 2, 16)
+        )
+        (outcome,) = run_shard(task)
+        assert outcome.engine == "hash"  # 20 combined rules > bdd_limit=5
+
+
+class TestScoutSystemParallel:
+    def test_localize_with_sharded_augmentation_matches_serial(self, faulty_simulation):
+        system = ScoutSystem(faulty_simulation.controller)
+        serial = system.localize(scope="controller")
+        sharded = system.localize(scope="controller", parallel=True, max_workers=3)
+        assert sharded.faulty_objects() == serial.faulty_objects()
+        assert sharded.equivalence.fingerprint() == serial.equivalence.fingerprint()
+
+    def test_sharded_augmentation_builds_the_same_model(self, faulty_simulation):
+        deployed = faulty_simulation
+        missing = deployed.missing_rules()
+        plan = plan_shards(missing, 3)
+        global_model = deployed.base_controller_model(include_switch_risks=True)
+        sharded_model = deployed.base_controller_model(include_switch_risks=True)
+        total = augment_controller_model(global_model, missing)
+        per_shard = augment_controller_model_sharded(sharded_model, missing, plan)
+        assert sum(per_shard.values()) == total
+        assert sharded_model.failed_edges() == global_model.failed_edges()
+        assert sharded_model.failure_signature() == global_model.failure_signature()
+
+
+class TestIncrementalBatching:
+    def test_batched_refresh_matches_serial_refresh(self, faulty_simulation):
+        controller = faulty_simulation.controller
+        serial = IncrementalChecker(controller)
+        serial.bootstrap()
+        batched = IncrementalChecker(controller)
+        batched.bootstrap()
+        dirty = sorted(controller.fabric.switches)[:7]
+        for uid in dirty:
+            serial.note_switch_change(uid)
+            batched.note_switch_change(uid)
+        serial_results = serial.refresh()
+        batched_results = batched.refresh(max_workers=3)
+        assert serial_results == batched_results
+        assert serial.stats() == batched.stats()
+
+    def test_batched_refresh_keeps_digest_short_circuits(self, faulty_simulation):
+        controller = faulty_simulation.controller
+        checker = IncrementalChecker(controller)
+        report = checker.bootstrap()
+        clean = [uid for uid, result in report.results.items() if result.equivalent][:3]
+        for uid in clean:
+            checker.note_switch_change(uid)
+        results = checker.refresh(max_workers=2)
+        assert set(results) == set(clean)
+        assert checker.digest_short_circuits == len(clean)
+        assert all(result.engine == "digest" for result in results.values())

@@ -5,7 +5,6 @@ import pytest
 from repro.exceptions import ValidationError
 from repro.policy import (
     EpgPair,
-    PolicyBuilder,
     PolicyIndex,
     build_dependency_graph,
     epg_pairs_per_object,
@@ -17,7 +16,7 @@ from repro.policy import (
     three_tier_policy,
     validate_policy,
 )
-from repro.policy.objects import Contract, Epg, Filter, FilterEntry, ObjectType, Vrf
+from repro.policy.objects import Contract, Epg, Filter, ObjectType, Vrf
 from repro.policy.tenant import NetworkPolicy, Tenant
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.exceptions import PolicyError
 from repro.policy.objects import (
     ANY_PORT,
     Contract,

@@ -102,6 +102,24 @@ class TestEquivalenceChecker:
         small = checker.check_switch("s", logical[:3], logical[:3])
         assert small.engine == "bdd"
 
+    def test_auto_engine_boundary_inclusive_at_exact_bdd_limit(self):
+        """The documented boundary: exactly ``bdd_limit`` combined rules is
+        still BDD territory; one more rule flips to the hash engine."""
+        checker = EquivalenceChecker(engine="auto", bdd_limit=10)
+        five = [_rule(p) for p in range(80, 85)]
+        at_limit = checker.check_switch("s", five, list(five))  # 5 + 5 == 10
+        assert at_limit.engine == "bdd"
+        six = [_rule(p) for p in range(80, 86)]
+        over_limit = checker.check_switch("s", six, list(five))  # 6 + 5 == 11
+        assert over_limit.engine == "hash"
+        assert checker._select_engine(10) == "bdd"
+        assert checker._select_engine(11) == "hash"
+
+    def test_explicit_engine_ignores_bdd_limit(self):
+        checker = EquivalenceChecker(engine="bdd", bdd_limit=1)
+        rules = [_rule(p) for p in range(80, 90)]
+        assert checker.check_switch("s", rules, list(rules)).engine == "bdd"
+
     def test_unknown_engine_rejected(self):
         with pytest.raises(VerificationError):
             EquivalenceChecker(engine="magic")
