@@ -3,13 +3,15 @@
 
 ``REPRO_BENCH_LAX=1`` keeps the wall-clock *floors* from failing noisy
 shared runners, but a benchmark whose emitter broke — missing file, empty
-payload, absent or non-positive ``speedup`` — must fail the build even
+payload, absent or non-positive gate metric — must fail the build even
 there.  Usage::
 
-    python check_bench_json.py BENCH_online.json BENCH_parallel.json
+    python check_bench_json.py BENCH_online.json BENCH_parallel.json BENCH_service.json
 
-Exits non-zero (listing every problem) unless each file exists, parses as
-a JSON object and carries a finite ``speedup`` strictly greater than 0.
+Exits non-zero (listing every problem) unless each file exists, parses as a
+JSON object, carries at least one *gate metric* (``speedup`` for the
+comparative benchmarks, ``requests_per_second`` for the service benchmark)
+and every gate metric present is a finite number strictly greater than 0.
 """
 
 from __future__ import annotations
@@ -18,6 +20,10 @@ import json
 import math
 import sys
 from pathlib import Path
+
+#: Keys that prove the emitter measured something.  A payload must carry at
+#: least one; each one present must be a finite number > 0.
+GATE_KEYS = ("speedup", "requests_per_second", "audit_p50_ms")
 
 
 def check_file(path: Path) -> list:
@@ -30,11 +36,16 @@ def check_file(path: Path) -> list:
         return [f"{path}: invalid JSON ({exc})"]
     if not isinstance(payload, dict) or not payload:
         return [f"{path}: payload must be a non-empty JSON object"]
-    speedup = payload.get("speedup")
-    if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
-        problems.append(f"{path}: 'speedup' missing or not a number: {speedup!r}")
-    elif not math.isfinite(speedup) or speedup <= 0:
-        problems.append(f"{path}: 'speedup' must be finite and > 0, got {speedup}")
+    present = [key for key in GATE_KEYS if key in payload]
+    if not present:
+        expected = ", ".join(GATE_KEYS)
+        problems.append(f"{path}: no gate metric present (expected one of: {expected})")
+    for key in present:
+        value = payload[key]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"{path}: {key!r} is not a number: {value!r}")
+        elif not math.isfinite(value) or value <= 0:
+            problems.append(f"{path}: {key!r} must be finite and > 0, got {value}")
     return problems
 
 

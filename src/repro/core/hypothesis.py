@@ -46,6 +46,17 @@ class HypothesisEntry:
             f"cov={self.coverage_ratio:.2f}, explains {len(self.explained)})"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready form; risk keys and observations are stringified."""
+        return {
+            "risk": str(self.risk),
+            "reason": self.reason.value,
+            "hit_ratio": self.hit_ratio,
+            "coverage_ratio": self.coverage_ratio,
+            "iteration": self.iteration,
+            "explained": sorted(str(obs) for obs in self.explained),
+        }
+
 
 @dataclass
 class Hypothesis:
@@ -97,6 +108,22 @@ class Hypothesis:
         merged.unexplained = (set(self.unexplained) | set(other.unexplained)) - merged.explained
         merged.iterations = max(self.iterations, other.iterations)
         return merged
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; entry order (selection order) is preserved.
+
+        Risk keys and observations are stringified for the wire: object and
+        switch uids (the production risk keys) round-trip exactly, while the
+        synthetic tuple observations some unit-test models use come back as
+        their string form.
+        """
+        return {
+            "algorithm": self.algorithm,
+            "iterations": self.iterations,
+            "entries": [entry.to_dict() for entry in self.entries],
+            "explained": sorted(str(obs) for obs in self.explained),
+            "unexplained": sorted(str(obs) for obs in self.unexplained),
+        }
 
     def describe(self) -> str:
         lines = [f"Hypothesis ({self.algorithm}): {len(self)} object(s)"]

@@ -73,6 +73,41 @@ class ScoutReport:
             return 0.0
         return sum(gammas) / len(gammas)
 
+    def to_dict(self) -> Dict:
+        """JSON-ready form of everything an operator-facing surface consumes.
+
+        Risk models stay behind (they are graph-sized internals rebuilt from
+        live state on demand) and correlation findings are flattened to their
+        operator-facing facts; everything else — the equivalence report with
+        full rule provenance, the hypothesis with its selection order — is
+        carried verbatim so ``repro.service.serializers`` can round-trip it.
+        """
+        correlation = None
+        if self.correlation is not None:
+            correlation = {
+                "findings": [
+                    {
+                        "object_uid": str(finding.object_uid),
+                        "root_cause": finding.root_cause,
+                        "known": finding.is_known,
+                        "devices": sorted(
+                            {fault.device_uid for fault in finding.matched_faults}
+                        ),
+                    }
+                    for finding in self.correlation.findings
+                ]
+            }
+        return {
+            "scope": self.scope,
+            "consistent": self.consistent,
+            "equivalence": self.equivalence.to_dict(),
+            "hypothesis": self.hypothesis.to_dict(),
+            "per_switch": {
+                uid: self.per_switch[uid].to_dict() for uid in sorted(self.per_switch)
+            },
+            "correlation": correlation,
+        }
+
     def describe(self) -> str:
         lines = [
             f"SCOUT report ({self.scope} scope)",

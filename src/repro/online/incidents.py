@@ -83,12 +83,23 @@ class Incident:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "Incident":
+        for key in ("incident_id", "switch_uid"):
+            if not isinstance(data.get(key, ""), str):
+                raise ValueError(f"{key} must be a string, got {data[key]!r}")
+        status_value = data.get("status", "open")
+        try:
+            status = IncidentStatus(status_value)
+        except ValueError:
+            known = ", ".join(member.value for member in IncidentStatus)
+            raise ValueError(
+                f"unknown incident status {status_value!r} (expected one of: {known})"
+            ) from None
         return cls(
             incident_id=data["incident_id"],
             switch_uid=data["switch_uid"],
             opened_at=data["opened_at"],
             updated_at=data["updated_at"],
-            status=IncidentStatus(data.get("status", "open")),
+            status=status,
             resolved_at=data.get("resolved_at"),
             missing_rules=data.get("missing_rules", 0),
             extra_rules=data.get("extra_rules", 0),
@@ -105,6 +116,8 @@ class IncidentStore:
         self._incidents: Dict[str, Incident] = {}
         self._active_by_switch: Dict[str, str] = {}
         self._counter = 0
+        #: Malformed JSONL lines skipped by a ``strict=False`` :meth:`load`.
+        self.skipped_lines = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -164,6 +177,23 @@ class IncidentStore:
         incident.updated_at = time
         return incident
 
+    def resolve_incident(self, incident_id: str, time: int) -> Optional[Incident]:
+        """Close one incident *by id* (no-op when unknown or already closed).
+
+        Unlike :meth:`resolve`, this targets exactly the addressed incident —
+        the right primitive for an operator ack over the API, and safe even
+        on journals that violated the one-open-per-switch invariant.
+        """
+        incident = self._incidents.get(incident_id)
+        if incident is None or not incident.is_open:
+            return None
+        if self._active_by_switch.get(incident.switch_uid) == incident_id:
+            del self._active_by_switch[incident.switch_uid]
+        incident.status = IncidentStatus.RESOLVED
+        incident.resolved_at = time
+        incident.updated_at = time
+        return incident
+
     def note_fault(self, switch_uid: str, code: str) -> None:
         """Attach a device fault code to the switch's open incident, if any."""
         incident = self.active_for(switch_uid)
@@ -206,13 +236,41 @@ class IncidentStore:
         return path
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "IncidentStore":
+    def load(cls, path: Union[str, Path], strict: bool = True) -> "IncidentStore":
+        """Load a JSONL journal, tolerating the ways real journals go bad.
+
+        Blank/whitespace-only lines are always skipped.  A malformed line —
+        truncated JSON, a non-object payload, a missing required key or an
+        unknown status string — raises :class:`ValueError` naming the file,
+        line number and problem; with ``strict=False`` such lines are skipped
+        instead and counted in :attr:`skipped_lines` (the right mode for a
+        monitor restarting over a journal a crash may have truncated).
+        """
         store = cls()
-        for line in Path(path).read_text().splitlines():
+        path = Path(path)
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
             line = line.strip()
             if not line:
                 continue
-            incident = Incident.from_dict(json.loads(line))
+            try:
+                data = json.loads(line)
+                if not isinstance(data, dict):
+                    raise ValueError(
+                        f"expected a JSON object, got {type(data).__name__}"
+                    )
+                incident = Incident.from_dict(data)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                if strict:
+                    problem = (
+                        f"missing required key {exc}"
+                        if isinstance(exc, KeyError)
+                        else str(exc)
+                    )
+                    raise ValueError(
+                        f"{path}:{lineno}: malformed incident line: {problem}"
+                    ) from exc
+                store.skipped_lines += 1
+                continue
             store._incidents[incident.incident_id] = incident
             if incident.is_open:
                 store._active_by_switch[incident.switch_uid] = incident.incident_id

@@ -57,6 +57,18 @@ class MonitorPass:
         """True when the pass changed no incident."""
         return not (self.opened or self.updated or self.resolved)
 
+    def to_dict(self) -> Dict:
+        """JSON-ready form (incidents via :meth:`Incident.to_dict`)."""
+        return {
+            "triggered_at": self.triggered_at,
+            "events": self.events,
+            "quiet": self.quiet,
+            "switches_rechecked": list(self.switches_rechecked),
+            "opened": [incident.to_dict() for incident in self.opened],
+            "updated": [incident.to_dict() for incident in self.updated],
+            "resolved": [incident.to_dict() for incident in self.resolved],
+        }
+
     def describe(self) -> str:
         lines = [
             f"monitor pass at t={self.triggered_at}: {self.events} event(s), "

@@ -73,6 +73,43 @@ class TcamRule:
         """The hashable match/action tuple (provenance excluded)."""
         return (self.vrf_scope, self.src_epg, self.dst_epg, self.protocol, self.port, self.action)
 
+    def to_dict(self) -> dict:
+        """Match fields *and* provenance as one JSON-ready dict.
+
+        Provenance is included so a rule that crosses a JSON boundary (the
+        operator service) can be rebuilt exactly: reports round-tripped
+        through :meth:`from_dict` keep their fingerprints byte-identical.
+        """
+        return {
+            "vrf_scope": self.vrf_scope,
+            "src_epg": self.src_epg,
+            "dst_epg": self.dst_epg,
+            "protocol": self.protocol,
+            "port": self.port,
+            "action": self.action,
+            "vrf_uid": self.vrf_uid,
+            "src_epg_uid": self.src_epg_uid,
+            "dst_epg_uid": self.dst_epg_uid,
+            "contract_uid": self.contract_uid,
+            "filter_uid": self.filter_uid,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TcamRule":
+        return cls(
+            vrf_scope=data["vrf_scope"],
+            src_epg=data["src_epg"],
+            dst_epg=data["dst_epg"],
+            protocol=data["protocol"],
+            port=data["port"],
+            action=data.get("action", "allow"),
+            vrf_uid=data.get("vrf_uid", ""),
+            src_epg_uid=data.get("src_epg_uid", ""),
+            dst_epg_uid=data.get("dst_epg_uid", ""),
+            contract_uid=data.get("contract_uid", ""),
+            filter_uid=data.get("filter_uid", ""),
+        )
+
     def epg_pair(self) -> EpgPair:
         """The EPG pair this rule serves (derived from provenance)."""
         return EpgPair(self.src_epg_uid, self.dst_epg_uid)

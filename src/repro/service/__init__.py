@@ -1,0 +1,59 @@
+"""Operator service layer: the system's front door.
+
+The batch pipeline (:class:`~repro.core.system.ScoutSystem`), the online
+monitor (:mod:`repro.online`) and the sharded parallel engine
+(:mod:`repro.parallel`) become a long-running daemon here:
+
+* :mod:`~repro.service.http` — dependency-free router, typed
+  request/response, structured 404/409 errors;
+* :mod:`~repro.service.serializers` — stable dict/JSON surfaces for every
+  report type (fingerprints survive the wire);
+* :mod:`~repro.service.jobs` — the audit job queue (enqueue → poll, with a
+  deterministic synchronous mode);
+* :mod:`~repro.service.app` — :class:`ScoutService`, the routes over one
+  live deployment;
+* :mod:`~repro.service.metrics` — Prometheus-style ``/metrics``;
+* :mod:`~repro.service.wsgi` / :mod:`~repro.service.testing` — the two
+  transports: a stdlib WSGI server and an in-process test client;
+* :mod:`~repro.service.cli` — ``repro-service`` / ``repro-audit`` console
+  entry points (``python -m repro.service`` works too).
+"""
+
+from .app import ScoutService, service_for_profile
+from .http import (
+    ApiError,
+    BadRequest,
+    Conflict,
+    MethodNotAllowed,
+    NotFound,
+    Request,
+    Response,
+    Router,
+)
+from .jobs import AuditJob, AuditQueue, JobStatus
+from .metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
+from .testing import ClientResponse, TestClient
+from .wsgi import WsgiApp, make_server_for, serve
+
+__all__ = [
+    "ApiError",
+    "AuditJob",
+    "AuditQueue",
+    "BadRequest",
+    "ClientResponse",
+    "Conflict",
+    "JobStatus",
+    "MethodNotAllowed",
+    "MetricsRegistry",
+    "NotFound",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Request",
+    "Response",
+    "Router",
+    "ScoutService",
+    "TestClient",
+    "WsgiApp",
+    "make_server_for",
+    "serve",
+    "service_for_profile",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.service`` — the daemon entry point."""
+
+import sys
+
+from .cli import main_service
+
+if __name__ == "__main__":
+    sys.exit(main_service())

@@ -1,0 +1,331 @@
+"""The operator service: HTTP routes wired over a live SCOUT deployment.
+
+:class:`ScoutService` is the front door the ROADMAP's "serve heavy traffic"
+step calls for.  It owns one :class:`~repro.core.system.ScoutSystem` (batch
+audits through the sharded parallel engine), one
+:class:`~repro.online.monitor.NetworkMonitor` (continuous detection with the
+incident lifecycle) and one :class:`~repro.service.jobs.AuditQueue`, and
+exposes them as a JSON API:
+
+======  =================================  =====================================
+Method  Path                               Purpose
+======  =================================  =====================================
+GET     ``/healthz``                       liveness + deployment summary
+POST    ``/audits``                        enqueue a SCOUT audit job
+GET     ``/audits``                        list audit jobs (without results)
+GET     ``/audits/{job_id}``               poll one job: status → full report
+GET     ``/incidents``                     incidents, ``?status=`` / ``?switch=``
+GET     ``/incidents/{incident_id}``       one incident
+POST    ``/incidents/{incident_id}/resolve``  operator ack (409 when closed)
+POST    ``/monitor/poll``                  process due events (``{"force": true}``)
+GET     ``/monitor/status``                monitor stats + pending events
+POST    ``/monitor/start``                 attach + baseline (409 when running)
+POST    ``/monitor/stop``                  detach (409 when stopped)
+GET     ``/metrics``                       Prometheus text exposition
+======  =================================  =====================================
+
+The service is transport-independent (see :mod:`.http`): the same instance
+serves unit tests through :class:`~repro.service.testing.TestClient` and
+production traffic through the WSGI adapter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..controller.controller import Controller
+from ..core.system import ScoutSystem
+from ..online.incidents import IncidentStatus
+from ..online.monitor import NetworkMonitor
+from ..workloads.generator import generate_workload
+from ..workloads.profiles import resolve_profile
+from .http import BadRequest, Conflict, NotFound, Request, Response, Router
+from .jobs import AuditQueue
+from .metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
+
+__all__ = ["ScoutService", "service_for_profile"]
+
+#: Parameters ``POST /audits`` accepts (everything else is a 400).
+_AUDIT_PARAMS = frozenset({"scope", "parallel", "max_workers", "correlate", "sync"})
+
+
+class ScoutService:
+    """Routes + state for one deployed controller/fabric pair."""
+
+    def __init__(
+        self,
+        controller: Controller,
+        name: str = "scout",
+        sync_audits: bool = False,
+        monitor: Optional[NetworkMonitor] = None,
+        system: Optional[ScoutSystem] = None,
+        auto_start: bool = True,
+    ) -> None:
+        self.controller = controller
+        self.name = name
+        self.system = system or ScoutSystem(controller)
+        self.monitor = monitor or NetworkMonitor(controller)
+        self.store = self.monitor.store
+        self.metrics = MetricsRegistry()
+        self.queue = AuditQueue(self._run_audit, sync=sync_audits, metrics=self.metrics)
+        self.router = Router()
+        self._register_routes()
+        self._register_gauges()
+        if auto_start:
+            self.start()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Attach the monitor (bootstrap sweep) if it is not already running."""
+        if not self.monitor.running:
+            self.monitor.start()
+
+    def close(self) -> None:
+        """Stop the audit worker and detach the monitor."""
+        self.queue.shutdown()
+        if self.monitor.running:
+            self.monitor.stop()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def handle(self, request: Request) -> Response:
+        """The single entry point both the WSGI app and the test client use."""
+        response = self.router.dispatch(request)
+        self.metrics.inc(
+            "repro_http_requests_total",
+            labels={"method": request.method.upper(), "status": str(response.status)},
+            help="HTTP requests served, by method and response status.",
+        )
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+    def _register_routes(self) -> None:
+        add = self.router.add
+        add("GET", "/healthz", self._get_healthz)
+        add("POST", "/audits", self._post_audit)
+        add("GET", "/audits", self._list_audits)
+        add("GET", "/audits/{job_id}", self._get_audit)
+        add("GET", "/incidents", self._list_incidents)
+        add("GET", "/incidents/{incident_id}", self._get_incident)
+        add("POST", "/incidents/{incident_id}/resolve", self._resolve_incident)
+        add("POST", "/monitor/poll", self._post_monitor_poll)
+        add("GET", "/monitor/status", self._get_monitor_status)
+        add("POST", "/monitor/start", self._post_monitor_start)
+        add("POST", "/monitor/stop", self._post_monitor_stop)
+        add("GET", "/metrics", self._get_metrics)
+
+    def _register_gauges(self) -> None:
+        gauge = self.metrics.gauge
+        gauge(
+            "repro_incidents_open",
+            lambda: float(len(self.store.active())),
+            help="Incidents currently open.",
+        )
+        gauge(
+            "repro_incidents_resolved",
+            lambda: float(len(self.store.resolved())),
+            help="Incidents resolved over the store's lifetime.",
+        )
+        gauge(
+            "repro_monitor_passes_total",
+            lambda: float(len(self.monitor.passes)),
+            help="Monitor processing passes executed.",
+        )
+        gauge(
+            "repro_monitor_pending_events",
+            lambda: float(self.monitor.pending_events()),
+            help="Events buffered and awaiting the debounce window.",
+        )
+        gauge(
+            "repro_switches",
+            lambda: float(len(self.controller.fabric.switches)),
+            help="Switches in the monitored fabric.",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Handlers: health
+    # ------------------------------------------------------------------ #
+    def _get_healthz(self, request: Request) -> Dict:
+        return {
+            "status": "ok",
+            "service": self.name,
+            "time": self.controller.clock.peek(),
+            "switches": len(self.controller.fabric.switches),
+            "monitor_running": self.monitor.running,
+            "open_incidents": len(self.store.active()),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Handlers: audits
+    # ------------------------------------------------------------------ #
+    def _run_audit(self, params: Dict) -> Dict:
+        """Execute one job: full SCOUT pipeline, serialized for the wire."""
+        report = self.system.localize(
+            scope=params.get("scope", "controller"),
+            correlate=params.get("correlate", True),
+            parallel=params.get("parallel", False),
+            max_workers=params.get("max_workers"),
+        )
+        payload = report.to_dict()
+        # Duplicated at the top level so pollers don't have to dig for it.
+        payload["fingerprint"] = report.equivalence.fingerprint()
+        return payload
+
+    def _post_audit(self, request: Request) -> Response:
+        body = request.json_body()
+        unknown = set(body) - _AUDIT_PARAMS
+        if unknown:
+            raise BadRequest(
+                f"unknown audit parameter(s): {', '.join(sorted(map(str, unknown)))}"
+            )
+        scope = body.get("scope", "controller")
+        if scope not in ("controller", "switch"):
+            raise BadRequest(f"scope must be 'controller' or 'switch', got {scope!r}")
+        max_workers = body.get("max_workers")
+        if max_workers is not None and (
+            isinstance(max_workers, bool)
+            or not isinstance(max_workers, int)
+            or max_workers < 1
+        ):
+            raise BadRequest(
+                f"max_workers must be a positive integer, got {max_workers!r}"
+            )
+        params = {
+            "scope": scope,
+            "parallel": bool(body.get("parallel", False)),
+            "max_workers": max_workers,
+            "correlate": bool(body.get("correlate", True)),
+        }
+        # Absent → queue default; an explicit true/false overrides either way.
+        sync_override = body.get("sync")
+        job = self.queue.submit(
+            params, sync=None if sync_override is None else bool(sync_override)
+        )
+        return Response.json(
+            {"job": job.to_dict()}, status=200 if job.finished else 202
+        )
+
+    def _list_audits(self, request: Request) -> Dict:
+        return {"jobs": [job.to_dict(with_result=False) for job in self.queue.jobs()]}
+
+    def _get_audit(self, request: Request) -> Dict:
+        job = self.queue.get(request.params["job_id"])
+        if job is None:
+            raise NotFound(f"unknown audit job {request.params['job_id']!r}")
+        return {"job": job.to_dict()}
+
+    # ------------------------------------------------------------------ #
+    # Handlers: incidents
+    # ------------------------------------------------------------------ #
+    def _list_incidents(self, request: Request) -> Dict:
+        status_filter = request.query.get("status")
+        wanted: Optional[IncidentStatus] = None
+        if status_filter is not None:
+            try:
+                wanted = IncidentStatus(status_filter)
+            except ValueError:
+                known = ", ".join(member.value for member in IncidentStatus)
+                raise BadRequest(
+                    f"unknown incident status {status_filter!r} (expected: {known})"
+                ) from None
+        switch_filter = request.query.get("switch")
+        incidents = self.store.all()
+        if wanted is not None:
+            incidents = [
+                incident for incident in incidents if incident.status is wanted
+            ]
+        if switch_filter is not None:
+            incidents = [
+                incident
+                for incident in incidents
+                if incident.switch_uid == switch_filter
+            ]
+        return {"incidents": [incident.to_dict() for incident in incidents]}
+
+    def _get_incident(self, request: Request) -> Dict:
+        incident = self.store.get(request.params["incident_id"])
+        if incident is None:
+            raise NotFound(f"unknown incident {request.params['incident_id']!r}")
+        return {"incident": incident.to_dict()}
+
+    def _resolve_incident(self, request: Request) -> Dict:
+        incident = self.store.get(request.params["incident_id"])
+        if incident is None:
+            raise NotFound(f"unknown incident {request.params['incident_id']!r}")
+        if not incident.is_open:
+            raise Conflict(f"incident {incident.incident_id} is already resolved")
+        resolved = self.store.resolve_incident(
+            incident.incident_id, self.controller.clock.peek()
+        )
+        assert resolved is not None  # is_open above guarantees it can close
+        return {"incident": resolved.to_dict()}
+
+    # ------------------------------------------------------------------ #
+    # Handlers: monitor
+    # ------------------------------------------------------------------ #
+    def _post_monitor_poll(self, request: Request) -> Dict:
+        if not self.monitor.running:
+            raise Conflict("monitor is not running (POST /monitor/start first)")
+        force = bool(request.json_body().get("force", False))
+        monitor_pass = self.monitor.poll(force=force)
+        return {
+            "pass": monitor_pass.to_dict() if monitor_pass is not None else None,
+            "pending_events": self.monitor.pending_events(),
+        }
+
+    def _get_monitor_status(self, request: Request) -> Dict:
+        return {
+            "running": self.monitor.running,
+            "due": self.monitor.due(),
+            "stats": self.monitor.stats(),
+        }
+
+    def _post_monitor_start(self, request: Request) -> Dict:
+        if self.monitor.running:
+            raise Conflict("monitor is already running")
+        report = self.monitor.start()
+        return {"running": True, "baseline": report.summary()}
+
+    def _post_monitor_stop(self, request: Request) -> Dict:
+        if not self.monitor.running:
+            raise Conflict("monitor is not running")
+        self.monitor.stop()
+        return {"running": False}
+
+    # ------------------------------------------------------------------ #
+    # Handlers: metrics
+    # ------------------------------------------------------------------ #
+    def _get_metrics(self, request: Request) -> Response:
+        return Response.plain(
+            self.metrics.render(), content_type=PROMETHEUS_CONTENT_TYPE
+        )
+
+
+def service_for_profile(
+    name: str,
+    seed: Optional[int] = None,
+    sync_audits: bool = False,
+    auto_start: bool = True,
+) -> ScoutService:
+    """Generate, deploy and wrap one named workload profile.
+
+    The daemon's boot path: resolve the profile (``ValueError`` for unknown
+    names), generate the synthetic policy + fabric, deploy it through the
+    controller and attach a service (monitor bootstrapped when
+    ``auto_start``).
+    """
+    profile = resolve_profile(name, seed=seed)
+    workload = generate_workload(profile)
+    controller = Controller(workload.policy, workload.fabric)
+    controller.deploy()
+    return ScoutService(
+        controller,
+        name=profile.name,
+        sync_audits=sync_audits,
+        auto_start=auto_start,
+    )

@@ -1,0 +1,179 @@
+"""Console entry points: the service daemon and the one-shot audit CLI.
+
+``repro-service`` (also ``python -m repro.service``) generates and deploys a
+named workload profile, attaches the monitor and either serves the JSON API
+over the stdlib WSGI server or — with ``--once`` — drives every core
+endpoint through the in-process client as a self-check and exits non-zero
+on any failure (the mode CI boots).
+
+``repro-audit`` runs one SCOUT audit against a freshly deployed profile and
+prints the serialized report as JSON; the exit code says whether the
+deployment was consistent, so it composes with shell pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Optional, Sequence
+
+from ..controller.controller import Controller
+from ..core.system import ScoutSystem
+from ..workloads.generator import generate_workload
+from ..workloads.profiles import profile_names, resolve_profile
+from .app import ScoutService, service_for_profile
+from .testing import TestClient
+from .wsgi import serve
+
+__all__ = ["main_audit", "main_service"]
+
+
+def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        default="small",
+        help=f"workload profile to deploy ({', '.join(profile_names())})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the profile's RNG seed"
+    )
+
+
+def main_service(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="Serve SCOUT audits, incidents and monitoring as a JSON API.",
+    )
+    _add_profile_arguments(parser)
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8421, help="bind port")
+    parser.add_argument(
+        "--sync-audits",
+        action="store_true",
+        help="execute POST /audits inline instead of on the worker thread",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="self-check every core endpoint in-process and exit (no sockets)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        service = service_for_profile(
+            args.profile, seed=args.seed, sync_audits=args.sync_audits or args.once
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    print(
+        f"[repro-service] profile {service.name!r} deployed: "
+        f"{len(service.controller.fabric.switches)} switch(es), monitor running"
+    )
+    if args.once:
+        return _self_check(service)
+    print(f"[repro-service] listening on http://{args.host}:{args.port}")
+    serve(service, args.host, args.port)  # pragma: no cover - blocking loop
+    return 0  # pragma: no cover
+
+
+def _self_check(service: ScoutService) -> int:
+    """Drive every core endpoint through the in-process client, no sockets.
+
+    Each step prints ``PASS``/``FAIL``; the exit code is non-zero when any
+    response — or the parallel-audit fingerprint identity against a direct
+    ``ScoutSystem.check()`` — is off.
+    """
+    client = TestClient(service)
+    failures = 0
+
+    def check(label: str, ok: bool, detail: str = "") -> None:
+        nonlocal failures
+        if not ok:
+            failures += 1
+        suffix = f" ({detail})" if detail else ""
+        print(f"[repro-service] {'PASS' if ok else 'FAIL'} {label}{suffix}")
+
+    health = client.get("/healthz")
+    check("GET /healthz", health.status == 200, f"status={health.status}")
+
+    audit = client.post(
+        "/audits", json={"parallel": True, "max_workers": 2, "sync": True}
+    )
+    check("POST /audits (sync, parallel)", audit.status == 200)
+    job = audit.json().get("job", {})
+    check("audit job finished", job.get("status") == "done", job.get("error") or "")
+
+    polled = client.get(f"/audits/{job.get('job_id')}")
+    check(
+        "GET /audits/{id}",
+        polled.status == 200 and polled.json()["job"]["status"] == "done",
+    )
+    result = job.get("result") or {}
+    direct = service.system.check().fingerprint()
+    check(
+        "audit fingerprint == direct ScoutSystem.check()",
+        result.get("fingerprint") == direct,
+        f"api={str(result.get('fingerprint'))[:12]} direct={direct[:12]}",
+    )
+    entries = (result.get("hypothesis") or {}).get("entries")
+    check("audit returned hypothesis JSON", isinstance(entries, list))
+
+    incidents = client.get("/incidents")
+    count = len(incidents.json().get("incidents", []))
+    check("GET /incidents", incidents.status == 200, f"{count} incident(s)")
+
+    poll = client.post("/monitor/poll", json={"force": True})
+    check("POST /monitor/poll", poll.status == 200)
+    status = client.get("/monitor/status")
+    check("GET /monitor/status", status.status == 200)
+
+    metrics = client.get("/metrics")
+    check(
+        "GET /metrics",
+        metrics.status == 200 and "repro_http_requests_total" in metrics.text,
+    )
+    missing = client.get("/audits/AUD-9999")
+    check(
+        "structured 404 body",
+        missing.status == 404 and missing.json()["error"]["status"] == 404,
+    )
+
+    service.close()
+    verdict = "ok" if failures == 0 else f"{failures} failure(s)"
+    print(f"[repro-service] self-check {verdict}")
+    return 0 if failures == 0 else 1
+
+
+def main_audit(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-audit",
+        description="Run one SCOUT audit against a deployed profile, print JSON.",
+    )
+    _add_profile_arguments(parser)
+    parser.add_argument(
+        "--scope", choices=("controller", "switch"), default="controller"
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="run the equivalence sweep through the sharded parallel engine",
+    )
+    parser.add_argument("--max-workers", type=int, default=None)
+    parser.add_argument("--indent", type=int, default=2, help="JSON indentation")
+    args = parser.parse_args(argv)
+
+    try:
+        profile = resolve_profile(args.profile, seed=args.seed)
+    except ValueError as exc:
+        parser.error(str(exc))
+    workload = generate_workload(profile)
+    controller = Controller(workload.policy, workload.fabric)
+    controller.deploy()
+    report = ScoutSystem(controller).localize(
+        scope=args.scope, parallel=args.parallel, max_workers=args.max_workers
+    )
+    payload = report.to_dict()
+    payload["fingerprint"] = report.equivalence.fingerprint()
+    print(json.dumps(payload, indent=args.indent, sort_keys=True))
+    # Shell-friendly: 0 = consistent deployment, 1 = violations found.
+    return 0 if report.consistent else 1

@@ -1,0 +1,141 @@
+"""A tiny in-process metrics registry with Prometheus text rendering.
+
+Three instrument kinds cover what the service exposes on ``/metrics``:
+
+* **counters** — monotonically increasing, optionally labelled
+  (``repro_http_requests_total{method="GET",status="200"}``);
+* **summaries** — observation streams rendered as ``_count`` / ``_sum``
+  pairs (audit latencies);
+* **gauges** — computed at render time from a callback, so values like
+  "open incidents" always reflect the live store instead of a shadow
+  counter that can drift.
+
+The render output is the Prometheus text exposition format, which existing
+scrape pipelines ingest as-is; no client library is required.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["PROMETHEUS_CONTENT_TYPE", "MetricsRegistry"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Sorted ``(key, value)`` label pairs — the hashable identity of one series.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> LabelKey:
+    return tuple(sorted((labels or {}).items()))
+
+
+def _format_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Counters, summaries and computed gauges behind one render call.
+
+    Thread-safe by a single lock: in the async daemon the audit worker
+    thread records job metrics while request threads count requests and
+    render ``/metrics``, so every read-modify-write and every iteration
+    over the instrument maps happens under ``_lock``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Dict[LabelKey, float]] = {}
+        self._summaries: Dict[str, List[float]] = {}
+        self._gauges: Dict[str, Callable[[], float]] = {}
+        self._help: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def inc(
+        self,
+        name: str,
+        labels: Optional[Dict[str, str]] = None,
+        value: float = 1.0,
+        help: str = "",
+    ) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + value
+            if help:
+                self._help.setdefault(name, help)
+
+    def observe(self, name: str, value: float, help: str = "") -> None:
+        with self._lock:
+            self._summaries.setdefault(name, []).append(float(value))
+            if help:
+                self._help.setdefault(name, help)
+
+    def gauge(self, name: str, fn: Callable[[], float], help: str = "") -> None:
+        """Register a gauge computed from live state at every render."""
+        with self._lock:
+            self._gauges[name] = fn
+            if help:
+                self._help.setdefault(name, help)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def counter_value(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> float:
+        with self._lock:
+            return self._counters.get(name, {}).get(_label_key(labels), 0.0)
+
+    def summary_count(self, name: str) -> int:
+        with self._lock:
+            return len(self._summaries.get(name, ()))
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def render(self) -> str:
+        """The full registry in Prometheus text exposition format."""
+        # Snapshot under the lock; gauge callbacks (which read live service
+        # state, not this registry) run outside it.
+        with self._lock:
+            counters = {name: dict(series) for name, series in self._counters.items()}
+            summaries = {
+                name: (len(obs), sum(obs)) for name, obs in self._summaries.items()
+            }
+            gauges = dict(self._gauges)
+            help_text = dict(self._help)
+
+        lines: List[str] = []
+
+        def header(name: str, kind: str) -> None:
+            if name in help_text:
+                lines.append(f"# HELP {name} {help_text[name]}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        for name in sorted(counters):
+            header(name, "counter")
+            for key in sorted(counters[name]):
+                value = counters[name][key]
+                lines.append(f"{name}{_format_labels(key)} {_format_value(value)}")
+        for name in sorted(summaries):
+            header(name, "summary")
+            count, total = summaries[name]
+            lines.append(f"{name}_count {count}")
+            lines.append(f"{name}_sum {_format_value(total)}")
+        for name in sorted(gauges):
+            header(name, "gauge")
+            lines.append(f"{name} {_format_value(gauges[name]())}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,68 @@
+"""In-process test client: drive the service with zero sockets.
+
+The client builds :class:`~repro.service.http.Request` objects straight from
+``"/incidents?status=open"``-style paths and pushes them through
+:meth:`ScoutService.handle` — the same dispatch path (routing, error
+rendering, metrics accounting) production traffic takes through the WSGI
+adapter, minus the transport.  Unit tests, the ``--once`` self-check and the
+service benchmark all run on it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+from urllib.parse import parse_qsl, urlsplit
+
+from .app import ScoutService
+from .http import Request, Response
+
+__all__ = ["ClientResponse", "TestClient"]
+
+
+class ClientResponse:
+    """What one client call returned: status, content type, body accessors."""
+
+    def __init__(self, response: Response) -> None:
+        self.status = response.status
+        self.content_type = response.content_type
+        self._response = response
+
+    @property
+    def text(self) -> str:
+        return self._response.body_bytes().decode("utf-8")
+
+    def json(self) -> dict:
+        if self._response.payload is not None:
+            return self._response.payload
+        return json.loads(self.text)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClientResponse {self.status} {self.content_type}>"
+
+
+class TestClient:
+    """Requests-style helper over one in-process :class:`ScoutService`."""
+
+    __test__ = False  # keep pytest from collecting this as a test class
+
+    def __init__(self, service: ScoutService) -> None:
+        self.service = service
+
+    def request(
+        self, method: str, path: str, json_body: Optional[dict] = None
+    ) -> ClientResponse:
+        split = urlsplit(path)
+        request = Request(
+            method=method.upper(),
+            path=split.path,
+            query=dict(parse_qsl(split.query)),
+            body=json_body,
+        )
+        return ClientResponse(self.service.handle(request))
+
+    def get(self, path: str) -> ClientResponse:
+        return self.request("GET", path)
+
+    def post(self, path: str, json: Optional[dict] = None) -> ClientResponse:
+        return self.request("POST", path, json_body=json)

@@ -1,0 +1,95 @@
+"""WSGI adapter and stdlib HTTP server for the JSON API.
+
+:class:`WsgiApp` turns WSGI environs into the transport-independent
+:class:`~repro.service.http.Request` and streams the
+:class:`~repro.service.http.Response` back; :func:`make_server_for` binds it
+to ``wsgiref.simple_server``.  Because the callable is plain WSGI, the same
+service also deploys under any production WSGI server (gunicorn, uwsgi,
+mod_wsgi) without code changes — the stdlib server is simply the
+zero-dependency default the CI smoke job boots.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+from urllib.parse import parse_qsl
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+from .app import ScoutService
+from .http import BadRequest, Request, Response
+
+__all__ = ["WsgiApp", "make_server_for", "serve"]
+
+
+class WsgiApp:
+    """The WSGI callable for one :class:`ScoutService`."""
+
+    def __init__(self, service: ScoutService) -> None:
+        self.service = service
+
+    def __call__(self, environ, start_response):
+        parsed = self._parse(environ)
+        if isinstance(parsed, Response):
+            response = parsed  # malformed request: answer without dispatching
+        else:
+            response = self.service.handle(parsed)
+        body = response.body_bytes()
+        start_response(
+            f"{response.status} {response.reason}",
+            [
+                ("Content-Type", response.content_type),
+                ("Content-Length", str(len(body))),
+            ],
+        )
+        return [body]
+
+    @staticmethod
+    def _parse(environ) -> Union[Request, Response]:
+        method = environ.get("REQUEST_METHOD", "GET")
+        path = environ.get("PATH_INFO", "/") or "/"
+        query = dict(parse_qsl(environ.get("QUERY_STRING", "")))
+        body = None
+        length = (environ.get("CONTENT_LENGTH") or "").strip()
+        if length:
+            raw = environ["wsgi.input"].read(int(length))
+            if raw:
+                try:
+                    body = json.loads(raw)
+                except json.JSONDecodeError as exc:
+                    return BadRequest(
+                        f"request body is not valid JSON: {exc}"
+                    ).to_response()
+                if not isinstance(body, dict):
+                    return BadRequest(
+                        "request body must be a JSON object"
+                    ).to_response()
+        return Request(method=method, path=path, query=query, body=body)
+
+
+class _QuietHandler(WSGIRequestHandler):
+    """Per-request stderr lines off; the daemon logs its own lifecycle."""
+
+    def log_message(self, format, *args):  # pragma: no cover - silenced I/O
+        pass
+
+
+def make_server_for(
+    service: ScoutService, host: str = "127.0.0.1", port: int = 8421
+) -> WSGIServer:
+    return make_server(host, port, WsgiApp(service), handler_class=_QuietHandler)
+
+
+def serve(service: ScoutService, host: str = "127.0.0.1", port: int = 8421) -> None:
+    """Serve until interrupted, then shut the service down cleanly.
+
+    A blocking loop by design — unit tests drive the service through the
+    in-process client instead, and the CI smoke job exercises this path.
+    """
+    with make_server_for(service, host, port) as server:
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            service.close()

@@ -58,6 +58,18 @@ class SwitchCheckResult:
     def missing_count(self) -> int:
         return len(self.missing_rules)
 
+    def to_dict(self) -> Dict:
+        """JSON-ready form; rules keep their provenance (see ``TcamRule.to_dict``)."""
+        return {
+            "switch_uid": self.switch_uid,
+            "equivalent": self.equivalent,
+            "engine": self.engine,
+            "logical_count": self.logical_count,
+            "deployed_count": self.deployed_count,
+            "missing_rules": [rule.to_dict() for rule in self.missing_rules],
+            "extra_rules": [rule.to_dict() for rule in self.extra_rules],
+        }
+
 
 @dataclass
 class EquivalenceReport:
@@ -104,6 +116,19 @@ class EquivalenceReport:
             "switches_with_violations": len(self.switches_with_violations()),
             "missing_rules": self.total_missing(),
             "extra_rules": self.total_extra(),
+        }
+
+    def to_dict(self) -> Dict:
+        """Stable JSON form: sorted switches, the summary and the fingerprint.
+
+        The per-switch dicts carry full rule provenance, so a report rebuilt
+        from this payload (``repro.service.serializers``) fingerprints
+        byte-identically to the original.
+        """
+        return {
+            "summary": self.summary(),
+            "fingerprint": self.fingerprint(),
+            "switches": {uid: self.results[uid].to_dict() for uid in sorted(self.results)},
         }
 
     def fingerprint(self) -> str:

@@ -5,8 +5,11 @@ from .profiles import (
     WorkloadProfile,
     datacenter_profile,
     production_cluster_profile,
+    profile_names,
+    resolve_profile,
     scaled_profile,
     simulation_profile,
+    small_profile,
     testbed_profile,
 )
 from .scenarios import (
@@ -26,8 +29,11 @@ __all__ = [
     "generate_workload",
     "large_unresponsive_switch_scenario",
     "production_cluster_profile",
+    "profile_names",
+    "resolve_profile",
     "scaled_profile",
     "simulation_profile",
+    "small_profile",
     "tcam_overflow_scenario",
     "testbed_profile",
     "three_tier_scenario",

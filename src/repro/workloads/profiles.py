@@ -25,13 +25,16 @@ and objects should be.  Three families of profiles are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Optional, Tuple
 
 __all__ = [
     "WorkloadProfile",
     "datacenter_profile",
     "production_cluster_profile",
+    "profile_names",
+    "resolve_profile",
     "simulation_profile",
+    "small_profile",
     "testbed_profile",
     "scaled_profile",
 ]
@@ -113,6 +116,32 @@ def simulation_profile(seed: int = 2018) -> WorkloadProfile:
     )
 
 
+def small_profile(seed: int = 2018) -> WorkloadProfile:
+    """A deliberately small demo profile for the service daemon and CI smoke.
+
+    Big enough to produce a multi-leaf fabric with shared policy objects (so
+    audits and incidents are non-trivial), small enough that generate +
+    deploy + monitor bootstrap + a parallel audit all finish in seconds —
+    the workload ``python -m repro.service --profile small`` boots on.
+    """
+    return WorkloadProfile(
+        name="small",
+        num_leaves=4,
+        num_spines=2,
+        num_vrfs=2,
+        num_epgs=20,
+        num_contracts=12,
+        num_filters=8,
+        target_pairs=48,
+        endpoints_per_epg=(1, 2),
+        switches_per_epg=(1, 2),
+        epg_popularity_skew=0.8,
+        vrf_size_skew=1.0,
+        contract_reuse_probability=0.5,
+        seed=seed,
+    )
+
+
 def testbed_profile(seed: int = 2018) -> WorkloadProfile:
     """The small testbed policy of §VI-A with its low degree of risk sharing."""
     return WorkloadProfile(
@@ -161,6 +190,34 @@ def datacenter_profile(seed: int = 2018, num_leaves: int = 512) -> WorkloadProfi
         contract_reuse_probability=0.6,
         seed=seed,
     )
+
+
+#: CLI/service name → profile builder.  Every builder accepts ``seed``.
+_PROFILE_BUILDERS = {
+    "small": small_profile,
+    "testbed": testbed_profile,
+    "simulation": simulation_profile,
+    "production": production_cluster_profile,
+    "datacenter": datacenter_profile,
+}
+
+
+def profile_names() -> List[str]:
+    """The short names :func:`resolve_profile` accepts (CLI/service surface)."""
+    return sorted(_PROFILE_BUILDERS)
+
+
+def resolve_profile(name: str, seed: Optional[int] = None) -> WorkloadProfile:
+    """Look up a workload profile by its short CLI name.
+
+    Raises :class:`ValueError` listing the known names, so callers (the
+    daemon's argument parser, the audit CLI) can surface it directly.
+    """
+    builder = _PROFILE_BUILDERS.get(name)
+    if builder is None:
+        known = ", ".join(profile_names())
+        raise ValueError(f"unknown workload profile {name!r} (known: {known})")
+    return builder() if seed is None else builder(seed=seed)
 
 
 def scaled_profile(

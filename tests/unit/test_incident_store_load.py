@@ -1,0 +1,135 @@
+"""IncidentStore.load hardening against corrupt JSONL journals."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.online import IncidentStore
+
+GOOD = json.dumps(
+    {"incident_id": "INC-0001", "switch_uid": "leaf-1", "opened_at": 1, "updated_at": 2}
+)
+
+
+def _journal(tmp_path, text: str):
+    path = tmp_path / "incidents.jsonl"
+    path.write_text(text)
+    return path
+
+
+class TestStrictLoad:
+    def test_blank_and_whitespace_lines_are_always_skipped(self, tmp_path):
+        store = IncidentStore.load(_journal(tmp_path, "\n   \n" + GOOD + "\n\n"))
+        assert len(store) == 1
+        assert store.skipped_lines == 0
+        assert store.active_for("leaf-1") is not None
+
+    def test_truncated_json_names_the_line(self, tmp_path):
+        path = _journal(tmp_path, GOOD + "\n" + '{"incident_id": "INC-0002", "swi')
+        with pytest.raises(ValueError) as excinfo:
+            IncidentStore.load(path)
+        message = str(excinfo.value)
+        assert ":2:" in message and "malformed incident line" in message
+
+    def test_unknown_status_names_the_status(self, tmp_path):
+        bad = json.dumps(
+            {
+                "incident_id": "INC-0001",
+                "switch_uid": "leaf-1",
+                "opened_at": 1,
+                "updated_at": 2,
+                "status": "weird",
+            }
+        )
+        with pytest.raises(ValueError, match="'weird'") as excinfo:
+            IncidentStore.load(_journal(tmp_path, bad))
+        assert ":1:" in str(excinfo.value)
+
+    def test_missing_required_key_names_the_key(self, tmp_path):
+        bad = json.dumps({"switch_uid": "leaf-1", "opened_at": 1, "updated_at": 2})
+        with pytest.raises(ValueError, match="incident_id"):
+            IncidentStore.load(_journal(tmp_path, bad))
+
+    def test_non_object_line_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="JSON object"):
+            IncidentStore.load(_journal(tmp_path, "[1, 2, 3]"))
+
+    def test_non_string_incident_id_is_rejected_not_crashed(self, tmp_path):
+        bad = json.dumps(
+            {"incident_id": 5, "switch_uid": "leaf-1", "opened_at": 1, "updated_at": 2}
+        )
+        with pytest.raises(ValueError, match="incident_id"):
+            IncidentStore.load(_journal(tmp_path, bad))
+        store = IncidentStore.load(_journal(tmp_path, bad), strict=False)
+        assert len(store) == 0 and store.skipped_lines == 1
+
+
+class TestNonStrictLoad:
+    def test_skips_bad_lines_with_count(self, tmp_path):
+        path = _journal(
+            tmp_path,
+            "\n".join(
+                [
+                    GOOD,
+                    '{"incident_id": "INC-0002", "swi',  # truncated
+                    '{"incident_id": "INC-0003", "switch_uid": "leaf-3", '
+                    '"opened_at": 1, "updated_at": 2, "status": "weird"}',
+                ]
+            ),
+        )
+        store = IncidentStore.load(path, strict=False)
+        assert len(store) == 1
+        assert store.skipped_lines == 2
+        assert store.get("INC-0001") is not None
+
+    def test_counter_still_advances_past_loaded_ids(self, tmp_path):
+        store = IncidentStore.load(_journal(tmp_path, GOOD), strict=False)
+        opened = store.open("leaf-9", time=5)
+        assert opened.incident_id == "INC-0002"
+
+
+class TestResolveIncidentById:
+    def test_resolves_exactly_the_addressed_incident(self, tmp_path):
+        # A journal that violates the one-open-per-switch invariant: two
+        # open incidents on leaf-1.  Resolving by id must close the
+        # addressed one, not whichever the switch index points at.
+        lines = [
+            json.dumps(
+                {
+                    "incident_id": f"INC-000{i}",
+                    "switch_uid": "leaf-1",
+                    "opened_at": i,
+                    "updated_at": i,
+                }
+            )
+            for i in (1, 2)
+        ]
+        store = IncidentStore.load(_journal(tmp_path, "\n".join(lines)))
+        first = store.resolve_incident("INC-0001", time=9)
+        assert first is not None and first.incident_id == "INC-0001"
+        assert store.get("INC-0002").is_open
+        second = store.resolve_incident("INC-0002", time=9)
+        assert second is not None and second.incident_id == "INC-0002"
+        assert store.active() == []
+
+    def test_unknown_or_closed_id_is_none(self):
+        store = IncidentStore()
+        assert store.resolve_incident("INC-0404", time=1) is None
+        store.open("leaf-1", time=1)
+        incident = store.resolve("leaf-1", time=2)
+        assert store.resolve_incident(incident.incident_id, time=3) is None
+
+
+class TestRoundTripStillWorks:
+    def test_save_then_load(self, tmp_path):
+        store = IncidentStore()
+        store.open("leaf-1", time=1, missing_rules=2, suspects=["vrf:a"])
+        resolved = store.open("leaf-2", time=2)
+        store.resolve("leaf-2", time=3)
+        path = store.save(tmp_path / "journal.jsonl")
+        loaded = IncidentStore.load(path)
+        assert len(loaded) == 2
+        assert loaded.active_for("leaf-1") is not None
+        assert not loaded.get(resolved.incident_id).is_open

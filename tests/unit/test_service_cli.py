@@ -1,0 +1,61 @@
+"""CLI entry points: profile resolution, --once self-check, one-shot audit."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.cli import main_audit, main_service
+from repro.workloads import profile_names, resolve_profile, small_profile
+
+
+class TestProfileRegistry:
+    def test_names_cover_every_family(self):
+        names = profile_names()
+        for expected in ("small", "testbed", "simulation", "production", "datacenter"):
+            assert expected in names
+
+    def test_resolve_small_matches_builder(self):
+        assert resolve_profile("small") == small_profile()
+
+    def test_resolve_with_seed_override(self):
+        assert resolve_profile("small", seed=7).seed == 7
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="small"):
+            resolve_profile("galactic")
+
+
+class TestServiceOnce:
+    def test_once_self_check_passes(self, capsys):
+        code = main_service(["--profile", "small", "--once"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FAIL" not in out
+        assert "GET /healthz" in out
+        assert "audit fingerprint == direct ScoutSystem.check()" in out
+        assert "self-check ok" in out
+
+    def test_unknown_profile_exits_with_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main_service(["--profile", "galactic", "--once"])
+        assert excinfo.value.code == 2
+        assert "unknown workload profile" in capsys.readouterr().err
+
+
+class TestAuditCli:
+    def test_audit_prints_report_json_and_exits_zero_when_consistent(self, capsys):
+        code = main_audit(["--profile", "small", "--parallel", "--max-workers", "2"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["consistent"] is True
+        assert payload["scope"] == "controller"
+        assert payload["fingerprint"] == payload["equivalence"]["fingerprint"]
+        assert payload["hypothesis"]["entries"] == []
+
+    def test_audit_switch_scope(self, capsys):
+        code = main_audit(["--profile", "small", "--scope", "switch"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["scope"] == "switch"

@@ -1,0 +1,110 @@
+"""Unit tests for the dependency-free router/request/response core."""
+
+from __future__ import annotations
+
+import json
+
+from repro.service.http import Conflict, Request, Response, Router
+
+
+def _echo(request: Request):
+    return {"path": request.path, "params": request.params, "query": request.query}
+
+
+def _conflict(request: Request):
+    raise Conflict("thing is busy")
+
+
+def _explode(request: Request):
+    raise RuntimeError("handler bug")
+
+
+def _plain(request: Request):
+    return Response.plain("hello")
+
+
+def make_router() -> Router:
+    router = Router()
+    router.add("GET", "/things", _echo)
+    router.add("GET", "/things/{thing_id}", _echo)
+    router.add("POST", "/things/{thing_id}/poke", _echo)
+    router.add("GET", "/conflict", _conflict)
+    router.add("GET", "/boom", _explode)
+    router.add("GET", "/plain", _plain)
+    return router
+
+
+def _dispatch(router: Router, method: str, path: str, **kwargs) -> Response:
+    return router.dispatch(Request(method=method, path=path, **kwargs))
+
+
+class TestRouting:
+    def test_exact_match_wraps_dict_as_200_json(self):
+        response = _dispatch(make_router(), "GET", "/things")
+        assert response.status == 200
+        assert response.content_type == "application/json"
+        assert response.payload["path"] == "/things"
+
+    def test_placeholder_captures_one_segment(self):
+        response = _dispatch(make_router(), "GET", "/things/abc-1")
+        assert response.status == 200
+        assert response.payload["params"] == {"thing_id": "abc-1"}
+
+    def test_placeholder_does_not_swallow_slashes(self):
+        response = _dispatch(make_router(), "GET", "/things/a/b")
+        assert response.status == 404
+
+    def test_nested_pattern_with_suffix(self):
+        response = _dispatch(make_router(), "POST", "/things/t9/poke")
+        assert response.status == 200
+        assert response.payload["params"] == {"thing_id": "t9"}
+
+    def test_query_travels_through(self):
+        response = _dispatch(make_router(), "GET", "/things", query={"a": "1"})
+        assert response.payload["query"] == {"a": "1"}
+
+
+class TestErrorRendering:
+    def test_unknown_path_is_structured_404(self):
+        response = _dispatch(make_router(), "GET", "/nope")
+        assert response.status == 404
+        error = response.payload["error"]
+        assert error["status"] == 404
+        assert "/nope" in error["detail"]
+
+    def test_wrong_method_is_405_listing_allowed(self):
+        response = _dispatch(make_router(), "DELETE", "/things")
+        assert response.status == 405
+        assert "GET" in response.payload["error"]["detail"]
+
+    def test_api_error_from_handler_renders_its_status(self):
+        response = _dispatch(make_router(), "GET", "/conflict")
+        assert response.status == 409
+        assert response.payload["error"]["detail"] == "thing is busy"
+
+    def test_unexpected_exception_becomes_500(self):
+        response = _dispatch(make_router(), "GET", "/boom")
+        assert response.status == 500
+        assert "RuntimeError" in response.payload["error"]["detail"]
+
+
+class TestResponses:
+    def test_plain_response_passthrough(self):
+        response = _dispatch(make_router(), "GET", "/plain")
+        assert response.status == 200
+        assert response.text == "hello"
+        assert response.content_type.startswith("text/plain")
+        assert response.body_bytes() == b"hello"
+
+    def test_json_body_bytes_are_deterministic(self):
+        response = Response.json({"b": 1, "a": 2})
+        assert json.loads(response.body_bytes()) == {"a": 2, "b": 1}
+        assert response.body_bytes() == b'{"a": 2, "b": 1}'
+
+    def test_reason_phrases(self):
+        assert Response(status=200).reason == "OK"
+        assert Response(status=409).reason == "Conflict"
+        assert Response(status=418).reason == "Unknown"
+
+    def test_json_body_helper_defaults_to_empty_dict(self):
+        assert Request(method="GET", path="/x").json_body() == {}
