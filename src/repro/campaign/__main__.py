@@ -1,0 +1,6 @@
+"""``python -m repro.campaign`` — alias for the ``repro-campaign`` CLI."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

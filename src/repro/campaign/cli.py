@@ -1,0 +1,203 @@
+"""``repro-campaign``: run, replay and diff fault-injection campaigns.
+
+Three subcommands::
+
+    repro-campaign run --profiles small --seeds 1,2 \\
+        --faults object-fault,multi-fault:3 --engines serial,incremental \\
+        --record trace.jsonl --report report.json
+
+    repro-campaign replay tests/corpus/object_fault_small.jsonl [...more]
+        # exit 0 iff every trace replays identically (the CI gate)
+
+    repro-campaign diff old.jsonl new.jsonl
+        # structural comparison, no cells re-run
+
+``run`` accepts either the inline grid flags above or ``--spec spec.json``
+with a serialized :class:`~repro.campaign.spec.CampaignSpec`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..workloads.profiles import profile_names
+from .runner import CellResult, run_campaign
+from .spec import ENGINE_MODES, FAULT_CLASSES, CampaignSpec, FaultSpec
+from .trace import ReplayReport, diff_traces, read_trace, replay_trace, write_trace
+
+__all__ = ["main"]
+
+
+def _split_csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _spec_from_args(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> CampaignSpec:
+    if args.spec is not None:
+        try:
+            payload = json.loads(Path(args.spec).read_text())
+        except OSError as exc:
+            parser.error(f"cannot read spec file: {exc}")
+        except json.JSONDecodeError as exc:
+            parser.error(f"spec file is not valid JSON: {exc}")
+        try:
+            return CampaignSpec.from_dict(payload)
+        except ValueError as exc:
+            parser.error(f"bad campaign spec: {exc}")
+    try:
+        return CampaignSpec(
+            name=args.name,
+            profiles=tuple(_split_csv(args.profiles)),
+            seeds=tuple(int(seed) for seed in _split_csv(args.seeds)),
+            faults=tuple(FaultSpec.parse(text) for text in _split_csv(args.faults)),
+            engines=tuple(_split_csv(args.engines)),
+            scope=args.scope,
+        )
+    except ValueError as exc:
+        parser.error(f"bad campaign grid: {exc}")
+    raise AssertionError("parser.error does not return")  # pragma: no cover
+
+
+def _print_cell(result: CellResult) -> None:
+    metrics = result.metrics
+    print(
+        f"[repro-campaign] {result.cell_id}: fp {result.fingerprint[:12]} "
+        f"missing={result.missing_rules} p={metrics['precision']:.2f} "
+        f"r={metrics['recall']:.2f} ({result.duration_seconds:.2f}s)"
+    )
+
+
+def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    spec = _spec_from_args(args, parser)
+    progress = None if args.quiet else _print_cell
+    report = run_campaign(spec, progress=progress)
+    if args.record is not None:
+        path = write_trace(report, args.record)
+        print(f"[repro-campaign] trace recorded to {path}")
+    if args.report is not None:
+        Path(args.report).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"[repro-campaign] report written to {args.report}")
+    summary = report.summary()
+    print(
+        f"[repro-campaign] {summary['cells']} cell(s) in "
+        f"{report.duration_seconds:.1f}s, "
+        f"mean precision {summary['mean_precision']:.2f}, "
+        f"mean recall {summary['mean_recall']:.2f}, "
+        f"chain {summary['fingerprint_chain'][:12]}"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    replays: List[ReplayReport] = []
+    failed = 0
+    for trace_path in args.traces:
+        try:
+            recorded = read_trace(trace_path)
+        except (OSError, ValueError) as exc:
+            print(f"[repro-campaign] ERROR {exc}", file=sys.stderr)
+            failed += 1
+            continue
+        progress = None if args.quiet else _print_cell
+        outcome = replay_trace(recorded, progress=progress)
+        replays.append(outcome)
+        print(f"[repro-campaign] {outcome.describe()}")
+        if not outcome.ok:
+            failed += 1
+    if args.report is not None:
+        payload = {
+            "ok": failed == 0,
+            "traces": [outcome.to_dict() for outcome in replays],
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        Path(args.report).write_text(text)
+        print(f"[repro-campaign] replay report written to {args.report}")
+    verdict = "ok" if failed == 0 else f"{failed} trace(s) failed"
+    print(f"[repro-campaign] replay {verdict}")
+    return 0 if failed == 0 else 1
+
+
+def _cmd_diff(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    try:
+        differences = diff_traces(args.left, args.right)
+    except (OSError, ValueError) as exc:
+        print(f"[repro-campaign] ERROR {exc}", file=sys.stderr)
+        return 2
+    if not differences:
+        print("[repro-campaign] traces are identical")
+        return 0
+    for difference in differences:
+        print(f"[repro-campaign] {difference}")
+    return 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Deterministic fault-injection campaigns with record/replay.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run a campaign grid (optionally recording a trace)"
+    )
+    run_parser.add_argument("--spec", default=None, help="JSON campaign spec file")
+    run_parser.add_argument("--name", default="campaign", help="campaign name")
+    run_parser.add_argument(
+        "--profiles",
+        default="small",
+        help=f"comma-separated workload profiles ({', '.join(profile_names())})",
+    )
+    run_parser.add_argument("--seeds", default="1", help="comma-separated RNG seeds")
+    run_parser.add_argument(
+        "--faults",
+        default="object-fault",
+        help=(
+            "comma-separated fault classes, multi-fault takes ':count' "
+            f"({', '.join(FAULT_CLASSES)})"
+        ),
+    )
+    run_parser.add_argument(
+        "--engines",
+        default="serial",
+        help=f"comma-separated engine modes ({', '.join(ENGINE_MODES)})",
+    )
+    run_parser.add_argument(
+        "--scope", choices=("controller", "switch"), default="controller"
+    )
+    run_parser.add_argument("--record", default=None, help="write the JSONL trace here")
+    run_parser.add_argument("--report", default=None, help="write the JSON report here")
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell lines"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    replay_parser = subparsers.add_parser(
+        "replay", help="re-run recorded traces and gate on identical behavior"
+    )
+    replay_parser.add_argument("traces", nargs="+", help="JSONL trace file(s)")
+    replay_parser.add_argument(
+        "--report", default=None, help="write the combined replay report here"
+    )
+    replay_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell lines"
+    )
+    replay_parser.set_defaults(func=_cmd_replay)
+
+    diff_parser = subparsers.add_parser(
+        "diff", help="structurally compare two traces without re-running"
+    )
+    diff_parser.add_argument("left")
+    diff_parser.add_argument("right")
+    diff_parser.set_defaults(func=_cmd_diff)
+
+    args = parser.parse_args(argv)
+    return args.func(args, parser)

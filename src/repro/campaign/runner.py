@@ -1,0 +1,339 @@
+"""Execute campaign cells end-to-end and aggregate their results.
+
+Each cell is run hermetically: a fresh workload is generated from the cell's
+profile and seed, deployed through a fresh controller, faulted according to
+the cell's fault class, checked through the requested verification engine
+(serial sweep, sharded parallel sweep, or the event-driven incremental
+checker) and localized with SCOUT; the hypothesis is scored against the
+injector's ground truth.  Everything observable about a cell — the
+equivalence-report fingerprint, the injected events, the localization output
+and the accuracy metrics — is a pure function of the cell, which is what the
+trace recorder and the CI regression gate rely on.  Wall-clock timings are
+carried alongside but never participate in identity comparisons.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..controller.controller import Controller
+from ..core.metrics import accuracy
+from ..core.system import ScoutReport, ScoutSystem
+from ..faults.base import FaultKind
+from ..faults.injector import FaultInjector
+from ..faults.physical import make_switch_unresponsive
+from ..online.delta import IncrementalChecker
+from ..verify.checker import EquivalenceReport
+from ..workloads.generator import GeneratedWorkload, generate_workload
+from ..workloads.profiles import resolve_profile
+from .spec import OBJECT_FAULT_CLASSES, CampaignCell, CampaignSpec
+
+__all__ = [
+    "CHANGE_WINDOW",
+    "CampaignReport",
+    "CellResult",
+    "run_campaign",
+    "run_cell",
+]
+
+#: SCOUT's stage-2 recency window for campaign runs.  After deployment the
+#: clock is aged past the window so the initial-deployment change records do
+#: not alias with the injected faults' records (matching the accuracy
+#: experiments' methodology).
+CHANGE_WINDOW = 50
+
+#: ``max_workers`` for cells running the sharded parallel engine.  Small
+#: fabrics fall back to the deterministic in-process path; either way the
+#: merged report is fingerprint-identical to a serial sweep.
+PARALLEL_WORKERS = 2
+
+
+@dataclass
+class CellResult:
+    """Everything one executed cell produced.
+
+    ``identity()`` is the deterministic subset that record/replay and the CI
+    gate compare; ``duration_seconds`` rides along for reporting only.
+    """
+
+    cell: CampaignCell
+    fingerprint: str
+    consistent: bool
+    missing_rules: int
+    ground_truth: List[str] = field(default_factory=list)
+    hypothesis: List[str] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    events: List[Dict] = field(default_factory=list)
+    duration_seconds: float = 0.0
+
+    @property
+    def cell_id(self) -> str:
+        return self.cell.cell_id
+
+    def identity(self) -> Dict:
+        """The replay-comparable payload (no wall-clock, no machine state)."""
+        return {
+            "fingerprint": self.fingerprint,
+            "consistent": self.consistent,
+            "missing_rules": self.missing_rules,
+            "ground_truth": list(self.ground_truth),
+            "hypothesis": list(self.hypothesis),
+            "metrics": dict(self.metrics),
+        }
+
+    def to_dict(self) -> Dict:
+        return {
+            "cell_id": self.cell_id,
+            "cell": self.cell.to_dict(),
+            "events": [dict(event) for event in self.events],
+            "result": self.identity(),
+            "duration_seconds": self.duration_seconds,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """All cell results of one campaign run, in canonical grid order."""
+
+    spec: CampaignSpec
+    results: List[CellResult] = field(default_factory=list)
+    duration_seconds: float = 0.0
+
+    def fingerprint_chain(self) -> str:
+        """SHA-256 chained over every cell's id + equivalence fingerprint.
+
+        One digest that changes iff any cell's verdict changes — the single
+        value the CI regression gate compares against the recorded trace.
+        """
+        digest = hashlib.sha256()
+        for result in self.results:
+            digest.update(f"{result.cell_id}\n{result.fingerprint}\n".encode("utf-8"))
+        return digest.hexdigest()
+
+    def summary(self) -> Dict:
+        cells = len(self.results)
+        scored = [result for result in self.results if result.metrics]
+        return {
+            "name": self.spec.name,
+            "cells": cells,
+            "consistent_cells": sum(1 for result in self.results if result.consistent),
+            "total_missing_rules": sum(result.missing_rules for result in self.results),
+            "mean_precision": (
+                sum(result.metrics["precision"] for result in scored) / len(scored)
+                if scored
+                else 0.0
+            ),
+            "mean_recall": (
+                sum(result.metrics["recall"] for result in scored) / len(scored)
+                if scored
+                else 0.0
+            ),
+            "fingerprint_chain": self.fingerprint_chain(),
+        }
+
+    def to_dict(self) -> Dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "summary": self.summary(),
+            "cells": [result.to_dict() for result in self.results],
+            "duration_seconds": self.duration_seconds,
+        }
+
+
+# --------------------------------------------------------------------- #
+# Deployment + fault application per fault class
+# --------------------------------------------------------------------- #
+def _deploy_workload(cell: CampaignCell) -> Tuple[GeneratedWorkload, Controller]:
+    profile = resolve_profile(cell.profile, seed=cell.seed)
+    workload = generate_workload(profile)
+    controller = Controller(workload.policy, workload.fabric)
+    return workload, controller
+
+
+def _busiest_leaf(workload: GeneratedWorkload) -> str:
+    """The leaf hosting the most endpoints (uid-sorted tie-break)."""
+    per_leaf: Dict[str, int] = {}
+    for endpoint in workload.policy.endpoints():
+        if endpoint.switch_uid is not None:
+            per_leaf[endpoint.switch_uid] = per_leaf.get(endpoint.switch_uid, 0) + 1
+    if not per_leaf:
+        raise ValueError("workload has no attached endpoints")
+    return min(per_leaf, key=lambda uid: (-per_leaf[uid], uid))
+
+
+def _deploy_unresponsive_switch(
+    cell: CampaignCell,
+) -> Tuple[Controller, List[Dict], Set[str]]:
+    """§V-B: silence the busiest leaf before the first push, then deploy."""
+    workload, controller = _deploy_workload(cell)
+    victim = _busiest_leaf(workload)
+    make_switch_unresponsive(controller, victim)
+    controller.deploy()
+    events = [{"event": "unresponsive-switch", "switch": victim}]
+    return controller, events, {victim}
+
+
+def _deploy_tcam_overflow(
+    cell: CampaignCell,
+) -> Tuple[Controller, List[Dict], Set[str]]:
+    """§V-B: redeploy the workload onto TCAMs sized below peak occupancy.
+
+    The unconstrained deployment is probed first to find the peak per-leaf
+    rule count; the campaign workload is then regenerated from the same seed
+    with ``capacity_fraction`` of that peak, so the most-loaded leaves
+    reject installs and raise ``TCAM_OVERFLOW`` faults.
+    """
+    probe_workload, probe_controller = _deploy_workload(cell)
+    probe_controller.deploy()
+    peak = max(
+        len(probe_workload.fabric.switch(uid).deployed_rules())
+        for uid in probe_workload.fabric.leaf_uids()
+    )
+    capacity = max(1, int(peak * cell.fault.capacity_fraction))
+
+    profile = resolve_profile(cell.profile, seed=cell.seed)
+    workload = generate_workload(profile, tcam_capacity=capacity)
+    controller = Controller(workload.policy, workload.fabric)
+    controller.deploy()
+    overflowed = sorted(
+        uid
+        for uid, switch in workload.fabric.switches.items()
+        if switch.tcam.rejected_installs > 0
+    )
+    events: List[Dict] = [
+        {"event": "tcam-capacity", "capacity": capacity, "peak_rules": peak},
+    ]
+    for uid in overflowed:
+        events.append(
+            {
+                "event": "tcam-overflow",
+                "switch": uid,
+                "rejected": workload.fabric.switch(uid).tcam.rejected_installs,
+            }
+        )
+    return controller, events, set(overflowed)
+
+
+def _inject_object_faults(
+    cell: CampaignCell, controller: Controller
+) -> Tuple[List[Dict], Set[str], Set[str]]:
+    """Inject the cell's object faults with the cell-seeded RNG.
+
+    Returns the recorded fault events, the ground-truth object uids and the
+    switches whose TCAM state changed (the incremental engine's dirty set).
+    """
+    # Age the initial-deployment change records out of SCOUT's recency
+    # window so stage 2 only sees this cell's injections.
+    controller.clock.tick(CHANGE_WINDOW + 1)
+    injector = FaultInjector(controller)
+    kinds = tuple(FaultKind(name) for name in cell.fault.fault_kinds)
+    faults = injector.inject_random_faults(
+        cell.fault.count, kinds=kinds, strict=False, seed=cell.seed
+    )
+    events: List[Dict] = []
+    touched: Set[str] = set()
+    for fault in faults:
+        touched.update(fault.removed_rules)
+        events.append(
+            {
+                "event": "object-fault",
+                "object": fault.object_uid,
+                "kind": fault.kind.value,
+                "injected_at": fault.injected_at,
+                "removed": {
+                    uid: len(fault.removed_rules[uid])
+                    for uid in sorted(fault.removed_rules)
+                },
+            }
+        )
+    return events, injector.ground_truth(), touched
+
+
+# --------------------------------------------------------------------- #
+# Engines
+# --------------------------------------------------------------------- #
+def _check_with_engine(
+    cell: CampaignCell,
+    system: ScoutSystem,
+    incremental: Optional[IncrementalChecker],
+    touched: Set[str],
+) -> EquivalenceReport:
+    if cell.engine == "incremental":
+        assert incremental is not None
+        incremental.refresh(switch_uids=sorted(touched))
+        return incremental.report()
+    if cell.engine == "parallel":
+        return system.check(parallel=True, max_workers=PARALLEL_WORKERS)
+    return system.check()
+
+
+# --------------------------------------------------------------------- #
+# Cell execution
+# --------------------------------------------------------------------- #
+def run_cell(cell: CampaignCell) -> CellResult:
+    """Run one cell hermetically and return its :class:`CellResult`."""
+    start = time.perf_counter()
+
+    if cell.fault.kind == "unresponsive-switch":
+        controller, events, ground_truth = _deploy_unresponsive_switch(cell)
+        touched = set(controller.fabric.leaf_uids())
+    elif cell.fault.kind == "tcam-overflow":
+        controller, events, ground_truth = _deploy_tcam_overflow(cell)
+        touched = set(controller.fabric.leaf_uids())
+    else:
+        _, controller = _deploy_workload(cell)
+        controller.deploy()
+        events, ground_truth, touched = [], set(), set()
+
+    # The incremental engine is attached before object faults are injected
+    # so its baseline is the clean deployment and the faults arrive as
+    # events — the path the online monitor exercises in production.
+    incremental = (
+        IncrementalChecker(controller) if cell.engine == "incremental" else None
+    )
+    if incremental is not None:
+        incremental.bootstrap()
+
+    if cell.fault.kind in OBJECT_FAULT_CLASSES:
+        events, ground_truth, touched = _inject_object_faults(cell, controller)
+
+    system = ScoutSystem(controller, change_window=CHANGE_WINDOW)
+    report = _check_with_engine(cell, system, incremental, touched)
+    scout: ScoutReport = system.localize(scope=cell.scope, report=report)
+
+    result = accuracy(ground_truth, scout.hypothesis.objects())
+    return CellResult(
+        cell=cell,
+        fingerprint=report.fingerprint(),
+        consistent=report.equivalent,
+        missing_rules=report.total_missing(),
+        ground_truth=sorted(str(uid) for uid in ground_truth),
+        hypothesis=sorted(str(risk) for risk in scout.hypothesis.objects()),
+        metrics={
+            "precision": result.precision,
+            "recall": result.recall,
+            "f1": result.f1,
+        },
+        events=events,
+        duration_seconds=time.perf_counter() - start,
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    progress: Optional[Callable[[CellResult], None]] = None,
+    cells: Optional[Sequence[CampaignCell]] = None,
+) -> CampaignReport:
+    """Run every cell of ``spec`` (or an explicit ``cells`` subset) in order."""
+    start = time.perf_counter()
+    report = CampaignReport(spec=spec)
+    for cell in spec.cells() if cells is None else list(cells):
+        result = run_cell(cell)
+        report.results.append(result)
+        if progress is not None:
+            progress(result)
+    report.duration_seconds = time.perf_counter() - start
+    return report

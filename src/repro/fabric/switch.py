@@ -227,13 +227,21 @@ class Switch:
         Rules the agent no longer wants are removed; missing rules are
         installed.  Overflows and evictions are logged.  Returns counters for
         inspection.
+
+        Both walks follow insertion order — removals in TCAM table order,
+        installs in the agent's rendering order — never raw set-difference
+        order, whose per-process hash randomization would make the install
+        sequence (and, on a capacity-limited TCAM, *which* rules overflow)
+        irreproducible across runs.  The campaign record/replay gate depends
+        on this being a pure function of the instruction stream.
         """
         desired = {rule.match_key(): rule for rule in self.agent.desired_rules()}
         installed_keys = set(self.tcam.match_keys())
-        desired_keys = set(desired.keys())
 
         removed = 0
-        for key in installed_keys - desired_keys:
+        for key in self.tcam.match_keys():
+            if key in desired:
+                continue
             # Only remove rules this agent owns (rendered from its view);
             # corrupted entries keep provenance and are cleaned up as well,
             # which mirrors an agent reconciling unexpected TCAM content.
@@ -244,8 +252,10 @@ class Switch:
         rejected = 0
         evicted = 0
         overflow_logged = False
-        for key in desired_keys - installed_keys:
-            outcome, evicted_rule = self.tcam.install(desired[key])
+        for key, rule in desired.items():
+            if key in installed_keys:
+                continue
+            outcome, evicted_rule = self.tcam.install(rule)
             if outcome is InstallOutcome.REJECTED_FULL:
                 rejected += 1
                 if not overflow_logged:

@@ -86,8 +86,15 @@ class FaultInjector:
         object_uid: str,
         kind: FaultKind = FaultKind.FULL,
         switches: Optional[Sequence[str]] = None,
+        rng: Optional[random.Random] = None,
     ) -> InjectedFault:
-        """Inject one object fault and record it (ground truth + change log)."""
+        """Inject one object fault and record it (ground truth + change log).
+
+        ``rng`` overrides the injector's own RNG for this injection (partial
+        faults draw their victim subset from it), so one call can be made
+        reproducible without resetting the injector's state.
+        """
+        rng = rng or self.rng
         self.controller.clock.tick()
         injected_at = self.controller.clock.peek()
         if kind is FaultKind.FULL:
@@ -98,7 +105,7 @@ class FaultInjector:
             fault = inject_partial_object_fault(
                 self.fabric,
                 object_uid,
-                rng=self.rng,
+                rng=rng,
                 fraction=self.partial_fraction,
                 switches=switches,
                 injected_at=injected_at,
@@ -121,6 +128,8 @@ class FaultInjector:
         object_types: Sequence[ObjectType] = DEFAULT_FAULT_TYPES,
         switches: Optional[Sequence[str]] = None,
         strict: bool = True,
+        rng: Optional[random.Random] = None,
+        seed: Optional[int] = None,
     ) -> List[InjectedFault]:
         """Inject ``count`` simultaneous faults on distinct random objects.
 
@@ -131,7 +140,17 @@ class FaultInjector:
         scope); with ``strict=True`` falling short of ``count`` raises, with
         ``strict=False`` the shorter batch is returned — the injected set is
         still the exact ground truth.
+
+        Every random draw of the batch — the shuffle, the full/partial coin
+        and any partial fault's victim subset — comes from one explicit
+        source: ``rng`` when given, else a fresh ``random.Random(seed)``
+        when ``seed`` is given, else the injector's own RNG.  Campaign cells
+        pass ``seed`` so a batch is reproducible regardless of how many
+        injections the shared injector RNG served before.
         """
+        if rng is not None and seed is not None:
+            raise FaultInjectionError("pass either rng or seed, not both")
+        draw = rng if rng is not None else (random.Random(seed) if seed is not None else self.rng)
         candidates = self.faultable_objects(object_types=object_types, switches=switches)
         if len(candidates) < count:
             raise FaultInjectionError(
@@ -141,7 +160,7 @@ class FaultInjector:
         # removed by an earlier fault in the same batch (e.g. faulting a VRF
         # first leaves nothing to remove for an EPG inside it).
         pool = list(candidates)
-        self.rng.shuffle(pool)
+        draw.shuffle(pool)
         faults: List[InjectedFault] = []
         while pool and len(faults) < count:
             uid = pool.pop()
@@ -149,12 +168,14 @@ class FaultInjector:
             total = sum(len(rules) for rules in per_switch.values())
             if total == 0:
                 continue
-            kind = self.rng.choice(list(kinds))
+            kind = draw.choice(list(kinds))
             # A partial fault needs more than one deployed rule to be partial;
             # fall back to a full fault for single-rule objects.
             if kind is FaultKind.PARTIAL and total <= 1:
                 kind = FaultKind.FULL
-            faults.append(self.inject_object_fault(uid, kind=kind, switches=switches))
+            faults.append(
+                self.inject_object_fault(uid, kind=kind, switches=switches, rng=draw)
+            )
         if strict and len(faults) < count:
             raise FaultInjectionError(
                 f"could only inject {len(faults)} of {count} faults: earlier faults "

@@ -14,6 +14,9 @@ GET     ``/healthz``                       liveness + deployment summary
 POST    ``/audits``                        enqueue a SCOUT audit job
 GET     ``/audits``                        list audit jobs (without results)
 GET     ``/audits/{job_id}``               poll one job: status → full report
+POST    ``/campaigns``                     run a fault-injection campaign (sync)
+GET     ``/campaigns``                     list campaign jobs (without results)
+GET     ``/campaigns/{job_id}``            poll one campaign job
 GET     ``/incidents``                     incidents, ``?status=`` / ``?switch=``
 GET     ``/incidents/{incident_id}``       one incident
 POST    ``/incidents/{incident_id}/resolve``  operator ack (409 when closed)
@@ -33,6 +36,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..campaign.runner import run_campaign
+from ..campaign.spec import CampaignSpec
 from ..controller.controller import Controller
 from ..core.system import ScoutSystem
 from ..online.incidents import IncidentStatus
@@ -40,13 +45,40 @@ from ..online.monitor import NetworkMonitor
 from ..workloads.generator import generate_workload
 from ..workloads.profiles import resolve_profile
 from .http import BadRequest, Conflict, NotFound, Request, Response, Router
-from .jobs import AuditQueue
+from .jobs import AuditJob, AuditQueue, JobStatus
 from .metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
 
 __all__ = ["ScoutService", "service_for_profile"]
 
 #: Parameters ``POST /audits`` accepts (everything else is a 400).
 _AUDIT_PARAMS = frozenset({"scope", "parallel", "max_workers", "correlate", "sync"})
+
+#: Parameters ``POST /campaigns`` accepts: the campaign spec fields plus the
+#: queue's ``sync`` override.
+_CAMPAIGN_PARAMS = frozenset(
+    {"name", "profiles", "seeds", "faults", "engines", "scope", "sync"}
+)
+
+#: Hard ceiling on grid size for service-side campaigns.  A campaign runs
+#: whole workload generations per cell; anything bigger belongs on the
+#: ``repro-campaign`` CLI, not behind an HTTP request.
+MAX_CAMPAIGN_CELLS = 64
+
+
+def _job_response(job: AuditJob) -> Response:
+    """The job-submission response: the HTTP status tracks the job's fate.
+
+    Queued jobs are a 202, finished jobs a 200 — and a *failed* synchronous
+    job is a 500, so probes keying on the status code (``curl -f`` in a CI
+    gate) cannot mistake a failed run for a success.
+    """
+    if job.status is JobStatus.FAILED:
+        status = 500
+    elif job.finished:
+        status = 200
+    else:
+        status = 202
+    return Response.json({"job": job.to_dict()}, status=status)
 
 
 class ScoutService:
@@ -68,6 +100,17 @@ class ScoutService:
         self.store = self.monitor.store
         self.metrics = MetricsRegistry()
         self.queue = AuditQueue(self._run_audit, sync=sync_audits, metrics=self.metrics)
+        # Campaigns execute inline by default: the route is a synchronous
+        # sweep gate (a probe POSTs a small grid and reads the fingerprint
+        # chain out of the response), with ``{"sync": false}`` available to
+        # push a larger grid onto the worker thread.
+        self.campaigns = AuditQueue(
+            self._run_campaign,
+            sync=True,
+            metrics=self.metrics,
+            prefix="CMP",
+            metric_prefix="campaign",
+        )
         self.router = Router()
         self._register_routes()
         self._register_gauges()
@@ -83,8 +126,9 @@ class ScoutService:
             self.monitor.start()
 
     def close(self) -> None:
-        """Stop the audit worker and detach the monitor."""
+        """Stop the job workers and detach the monitor."""
         self.queue.shutdown()
+        self.campaigns.shutdown()
         if self.monitor.running:
             self.monitor.stop()
 
@@ -110,6 +154,9 @@ class ScoutService:
         add("POST", "/audits", self._post_audit)
         add("GET", "/audits", self._list_audits)
         add("GET", "/audits/{job_id}", self._get_audit)
+        add("POST", "/campaigns", self._post_campaign)
+        add("GET", "/campaigns", self._list_campaigns)
+        add("GET", "/campaigns/{job_id}", self._get_campaign)
         add("GET", "/incidents", self._list_incidents)
         add("GET", "/incidents/{incident_id}", self._get_incident)
         add("POST", "/incidents/{incident_id}/resolve", self._resolve_incident)
@@ -206,9 +253,7 @@ class ScoutService:
         job = self.queue.submit(
             params, sync=None if sync_override is None else bool(sync_override)
         )
-        return Response.json(
-            {"job": job.to_dict()}, status=200 if job.finished else 202
-        )
+        return _job_response(job)
 
     def _list_audits(self, request: Request) -> Dict:
         return {"jobs": [job.to_dict(with_result=False) for job in self.queue.jobs()]}
@@ -217,6 +262,51 @@ class ScoutService:
         job = self.queue.get(request.params["job_id"])
         if job is None:
             raise NotFound(f"unknown audit job {request.params['job_id']!r}")
+        return {"job": job.to_dict()}
+
+    # ------------------------------------------------------------------ #
+    # Handlers: campaigns
+    # ------------------------------------------------------------------ #
+    def _run_campaign(self, params: Dict) -> Dict:
+        """Execute one campaign job: run the recorded spec, serialize the report."""
+        spec = CampaignSpec.from_dict(params["spec"])
+        return run_campaign(spec).to_dict()
+
+    def _post_campaign(self, request: Request) -> Response:
+        body = request.json_body()
+        unknown = set(body) - _CAMPAIGN_PARAMS
+        if unknown:
+            raise BadRequest(
+                f"unknown campaign parameter(s): {', '.join(sorted(map(str, unknown)))}"
+            )
+        spec_payload = {key: body[key] for key in body if key != "sync"}
+        try:
+            spec = CampaignSpec.from_dict(spec_payload)
+        except (TypeError, ValueError) as exc:
+            # TypeError covers wrong-typed field values (e.g. a null count),
+            # which the int()/float() coercions raise as TypeError.
+            raise BadRequest(f"bad campaign spec: {exc}") from None
+        cells = len(spec.cells())
+        if cells > MAX_CAMPAIGN_CELLS:
+            raise BadRequest(
+                f"campaign grid has {cells} cells, the service caps at "
+                f"{MAX_CAMPAIGN_CELLS}; run larger sweeps through repro-campaign"
+            )
+        sync_override = body.get("sync")
+        job = self.campaigns.submit(
+            {"spec": spec.to_dict()},
+            sync=None if sync_override is None else bool(sync_override),
+        )
+        return _job_response(job)
+
+    def _list_campaigns(self, request: Request) -> Dict:
+        jobs = [job.to_dict(with_result=False) for job in self.campaigns.jobs()]
+        return {"jobs": jobs}
+
+    def _get_campaign(self, request: Request) -> Dict:
+        job = self.campaigns.get(request.params["job_id"])
+        if job is None:
+            raise NotFound(f"unknown campaign job {request.params['job_id']!r}")
         return {"job": job.to_dict()}
 
     # ------------------------------------------------------------------ #

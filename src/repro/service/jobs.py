@@ -79,17 +79,27 @@ Runner = Callable[[Dict], Dict]
 
 
 class AuditQueue:
-    """FIFO audit execution: inline for tests, a worker thread for the daemon."""
+    """FIFO job execution: inline for tests, a worker thread for the daemon.
+
+    The queue is job-kind agnostic: the audit endpoints and the campaign
+    endpoint each own one instance, distinguished by the job-id ``prefix``
+    (``AUD-``/``CMP-``) and the ``metric_prefix`` under which executions are
+    counted (``repro_audit_*`` / ``repro_campaign_*``).
+    """
 
     def __init__(
         self,
         runner: Runner,
         sync: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        prefix: str = "AUD",
+        metric_prefix: str = "audit",
     ) -> None:
         self._runner = runner
         self.sync = sync
         self._metrics = metrics
+        self._prefix = prefix
+        self._metric_prefix = metric_prefix
         self._jobs: Dict[str, AuditJob] = {}
         self._lock = threading.Lock()
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
@@ -109,7 +119,8 @@ class AuditQueue:
         """
         if self._closed:
             raise RuntimeError("audit queue is shut down")
-        job = AuditJob(job_id=f"AUD-{next(self._ids):04d}", params=dict(params))
+        job_id = f"{self._prefix}-{next(self._ids):04d}"
+        job = AuditJob(job_id=job_id, params=dict(params))
         with self._lock:
             self._jobs[job.job_id] = job
         run_inline = self.sync if sync is None else sync
@@ -126,7 +137,9 @@ class AuditQueue:
     def _ensure_worker(self) -> None:
         if self._worker is None or not self._worker.is_alive():
             self._worker = threading.Thread(
-                target=self._drain, name="repro-audit-worker", daemon=True
+                target=self._drain,
+                name=f"repro-{self._metric_prefix}-worker",
+                daemon=True,
             )
             self._worker.start()
 
@@ -154,15 +167,16 @@ class AuditQueue:
             job.status = JobStatus.DONE
         job.duration_seconds = time.perf_counter() - start
         if self._metrics is not None:
+            kind = self._metric_prefix
             self._metrics.inc(
-                "repro_audit_jobs_total",
+                f"repro_{kind}_jobs_total",
                 labels={"status": job.status.value},
-                help="Audit jobs executed, by terminal status.",
+                help=f"{kind.capitalize()} jobs executed, by terminal status.",
             )
             self._metrics.observe(
-                "repro_audit_latency_seconds",
+                f"repro_{kind}_latency_seconds",
                 job.duration_seconds,
-                help="Wall-clock seconds per executed audit job.",
+                help=f"Wall-clock seconds per executed {kind} job.",
             )
 
     # ------------------------------------------------------------------ #

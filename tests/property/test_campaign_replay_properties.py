@@ -1,0 +1,78 @@
+"""Property-based tests: record → replay is an identity for seeded campaigns.
+
+The campaign contract says a cell is a pure function of its parameters.
+Hypothesis drives arbitrary seeded single-fault campaigns through a full
+record → read → replay cycle and asserts the replay reproduces the recorded
+fingerprints, localization output and accuracy metrics exactly — the same
+invariant the CI corpus gate enforces, here over a randomized input space.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.campaign import (
+    CampaignSpec,
+    FaultSpec,
+    read_trace,
+    record_campaign,
+    replay_trace,
+    run_cell,
+)
+
+single_fault_specs = st.builds(
+    lambda seed, kind, engine: CampaignSpec(
+        name=f"prop-{kind}-{seed}",
+        profiles=("small",),
+        seeds=(seed,),
+        faults=(FaultSpec(kind),),
+        engines=(engine,),
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+    kind=st.sampled_from(("object-fault", "unresponsive-switch")),
+    engine=st.sampled_from(("serial", "incremental")),
+)
+
+
+class TestRecordReplayProperties:
+    @given(spec=single_fault_specs)
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,
+        ],
+    )
+    def test_replay_reproduces_recorded_identity(self, spec, tmp_path_factory):
+        path = tmp_path_factory.mktemp("prop") / "trace.jsonl"
+        recorded_report = record_campaign(spec, path)
+        outcome = replay_trace(path)
+        assert outcome.ok, outcome.describe()
+        assert outcome.chain_replayed == recorded_report.fingerprint_chain()
+        # Field-level identity, not just the chain: localization output and
+        # metrics must match cell by cell.
+        fresh = {result.cell_id: result for result in outcome.fresh.results}
+        for entry in read_trace(path).cells:
+            replayed = fresh[entry.cell_id]
+            assert replayed.identity() == entry.result
+            assert replayed.events == entry.events
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        count=st.integers(min_value=1, max_value=4),
+    )
+    @settings(
+        max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_cell_execution_is_idempotent(self, seed, count):
+        from repro.campaign.spec import CampaignCell
+
+        fault = (
+            FaultSpec("multi-fault", count=count)
+            if count > 1
+            else FaultSpec("object-fault")
+        )
+        cell = CampaignCell(profile="small", seed=seed, fault=fault, engine="serial")
+        first = run_cell(cell)
+        second = run_cell(cell)
+        assert first.identity() == second.identity()
+        assert first.events == second.events

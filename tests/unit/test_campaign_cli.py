@@ -1,0 +1,139 @@
+"""Unit tests for the repro-campaign CLI (run / replay / diff)."""
+
+import json
+
+import pytest
+
+from repro.campaign.cli import main
+
+
+@pytest.fixture()
+def recorded_trace(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    code = main(
+        [
+            "run",
+            "--profiles",
+            "small",
+            "--seeds",
+            "9",
+            "--faults",
+            "object-fault",
+            "--engines",
+            "serial",
+            "--record",
+            str(trace),
+            "--quiet",
+        ]
+    )
+    assert code == 0
+    return trace
+
+
+class TestRun:
+    def test_run_writes_trace_and_report(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        report = tmp_path / "r.json"
+        code = main(
+            [
+                "run",
+                "--profiles",
+                "small",
+                "--seeds",
+                "9",
+                "--faults",
+                "object-fault,multi-fault:2",
+                "--record",
+                str(trace),
+                "--report",
+                str(report),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace recorded" in out and "2 cell(s)" in out
+        payload = json.loads(report.read_text())
+        assert payload["summary"]["cells"] == 2
+        assert trace.exists()
+
+    def test_run_from_spec_file(self, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(
+            json.dumps(
+                {
+                    "name": "from-file",
+                    "profiles": ["small"],
+                    "seeds": [3],
+                    "faults": ["unresponsive-switch"],
+                    "engines": ["serial"],
+                }
+            )
+        )
+        assert main(["run", "--spec", str(spec_file), "--quiet"]) == 0
+
+    def test_bad_grid_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--profiles", "atlantis", "--quiet"])
+        assert excinfo.value.code == 2
+
+    def test_bad_spec_file_is_a_usage_error(self, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text("{not json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--spec", str(spec_file)])
+        assert excinfo.value.code == 2
+
+
+class TestReplay:
+    def test_replay_of_fresh_trace_passes(self, recorded_trace, tmp_path, capsys):
+        report = tmp_path / "replay.json"
+        code = main(["replay", str(recorded_trace), "--quiet", "--report", str(report)])
+        assert code == 0
+        assert "replay ok" in capsys.readouterr().out
+        payload = json.loads(report.read_text())
+        assert payload["ok"] is True
+        assert payload["traces"][0]["ok"] is True
+
+    def test_tampered_trace_fails_with_exit_1(self, recorded_trace, capsys):
+        lines = recorded_trace.read_text().splitlines()
+        cell = json.loads(lines[1])
+        cell["result"]["fingerprint"] = "f" * 64
+        tampered = "\n".join([lines[0], json.dumps(cell)] + lines[2:]) + "\n"
+        recorded_trace.write_text(tampered)
+        assert main(["replay", str(recorded_trace), "--quiet"]) == 1
+        assert "1 trace(s) failed" in capsys.readouterr().out
+
+    def test_unreadable_trace_fails(self, tmp_path, capsys):
+        missing = tmp_path / "missing.jsonl"
+        assert main(["replay", str(missing), "--quiet"]) == 1
+        assert "ERROR" in capsys.readouterr().err
+
+
+class TestDiff:
+    def test_identical_traces_exit_0(self, recorded_trace, capsys):
+        assert main(["diff", str(recorded_trace), str(recorded_trace)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diverging_traces_exit_1(self, recorded_trace, tmp_path, capsys):
+        other = tmp_path / "other.jsonl"
+        code = main(
+            [
+                "run",
+                "--profiles",
+                "small",
+                "--seeds",
+                "10",
+                "--faults",
+                "object-fault",
+                "--record",
+                str(other),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["diff", str(recorded_trace), str(other)]) == 1
+        assert "differs" in capsys.readouterr().out
+
+    def test_unreadable_trace_exits_2(self, recorded_trace, tmp_path):
+        assert main(["diff", str(recorded_trace), str(tmp_path / "nope.jsonl")]) == 2

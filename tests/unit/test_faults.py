@@ -168,3 +168,42 @@ class TestFaultInjector:
         injector.inject_object_fault(three_tier.uids["filter_http"])
         injector.reset()
         assert injector.ground_truth() == set()
+
+    def test_random_faults_with_explicit_seed_ignore_injector_rng_state(self, tiny_profile):
+        """The same seed draws the same batch however much the shared RNG drifted."""
+
+        def run(burn_draws: int):
+            from repro.controller import Controller
+            from repro.workloads import generate_workload
+
+            workload = generate_workload(tiny_profile)
+            controller = Controller(workload.policy, workload.fabric)
+            controller.deploy()
+            injector = FaultInjector(controller)
+            for _ in range(burn_draws):  # drift the injector's own RNG
+                injector.rng.random()
+            faults = injector.inject_random_faults(3, seed=42)
+            return [(f.object_uid, f.kind, sorted(f.removed_rules)) for f in faults]
+
+        assert run(burn_draws=0) == run(burn_draws=17)
+
+    def test_random_faults_with_explicit_rng_object(self, deployed_tiny):
+        workload, controller = deployed_tiny
+        injector = FaultInjector(controller)
+        faults = injector.inject_random_faults(2, rng=random.Random(8))
+        assert len(faults) == 2
+
+    def test_random_faults_reject_rng_and_seed_together(self, deployed_tiny):
+        workload, controller = deployed_tiny
+        injector = FaultInjector(controller)
+        with pytest.raises(FaultInjectionError, match="not both"):
+            injector.inject_random_faults(1, rng=random.Random(1), seed=1)
+
+    def test_inject_object_fault_accepts_explicit_rng(self, three_tier):
+        injector = FaultInjector(three_tier.controller)
+        target = three_tier.uids["filter_extra_0"]
+        fault = injector.inject_object_fault(
+            target, kind=FaultKind.PARTIAL, rng=random.Random(3)
+        )
+        assert fault.kind is FaultKind.PARTIAL
+        assert fault.total_removed() >= 1

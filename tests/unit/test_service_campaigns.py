@@ -1,0 +1,119 @@
+"""Unit tests for the service-side campaign endpoint (POST /campaigns)."""
+
+import pytest
+
+from repro.service import TestClient, service_for_profile
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = service_for_profile("small", sync_audits=True)
+    yield svc
+    svc.close()
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    return TestClient(service)
+
+
+def _small_spec(**overrides):
+    body = {
+        "name": "api-campaign",
+        "profiles": ["small"],
+        "seeds": [1],
+        "faults": ["object-fault"],
+        "engines": ["serial"],
+    }
+    body.update(overrides)
+    return body
+
+
+class TestPostCampaign:
+    def test_sync_campaign_returns_finished_job(self, client):
+        response = client.post("/campaigns", json=_small_spec())
+        assert response.status == 200
+        job = response.json()["job"]
+        assert job["job_id"].startswith("CMP-")
+        assert job["status"] == "done"
+        summary = job["result"]["summary"]
+        assert summary["cells"] == 1
+        assert summary["fingerprint_chain"]
+        assert job["result"]["cells"][0]["result"]["fingerprint"]
+
+    def test_campaign_report_matches_direct_run(self, client):
+        from repro.campaign import CampaignSpec, run_campaign
+
+        body = _small_spec(faults=["multi-fault:2"])
+        response = client.post("/campaigns", json=body)
+        api_summary = response.json()["job"]["result"]["summary"]
+        direct = run_campaign(
+            CampaignSpec.from_dict({k: v for k, v in body.items() if k != "sync"})
+        )
+        assert api_summary["fingerprint_chain"] == direct.fingerprint_chain()
+
+    def test_unknown_parameter_rejected(self, client):
+        response = client.post("/campaigns", json=_small_spec(warp_factor=9))
+        assert response.status == 400
+        assert "unknown campaign parameter" in response.json()["error"]["detail"]
+
+    def test_bad_spec_rejected(self, client):
+        response = client.post("/campaigns", json=_small_spec(profiles=["atlantis"]))
+        assert response.status == 400
+        assert "bad campaign spec" in response.json()["error"]["detail"]
+
+    def test_wrong_typed_spec_fields_are_a_400_not_a_500(self, client):
+        null_count = _small_spec(faults=[{"kind": "object-fault", "count": None}])
+        response = client.post("/campaigns", json=null_count)
+        assert response.status == 400
+        assert "bad campaign spec" in response.json()["error"]["detail"]
+        scalar_kinds = _small_spec(faults=[{"kind": "object-fault", "fault_kinds": 5}])
+        assert client.post("/campaigns", json=scalar_kinds).status == 400
+
+    def test_failed_sync_job_returns_500(self, service, client):
+        def exploding_runner(params):
+            raise RuntimeError("boom")
+
+        original = service.campaigns._runner
+        service.campaigns._runner = exploding_runner
+        try:
+            response = client.post("/campaigns", json=_small_spec())
+            assert response.status == 500
+            assert response.json()["job"]["status"] == "failed"
+            assert "boom" in response.json()["job"]["error"]
+        finally:
+            service.campaigns._runner = original
+
+    def test_oversized_grid_rejected(self, client):
+        response = client.post(
+            "/campaigns", json=_small_spec(seeds=list(range(1, 100)))
+        )
+        assert response.status == 400
+        assert "caps at" in response.json()["error"]["detail"]
+
+    def test_async_override_queues_the_job(self, client, service):
+        response = client.post("/campaigns", json=_small_spec(sync=False))
+        assert response.status == 202
+        job_id = response.json()["job"]["job_id"]
+        service.campaigns.join()
+        polled = client.get(f"/campaigns/{job_id}")
+        assert polled.json()["job"]["status"] == "done"
+
+
+class TestCampaignQueries:
+    def test_list_campaigns_excludes_results(self, client):
+        client.post("/campaigns", json=_small_spec())
+        listing = client.get("/campaigns")
+        assert listing.status == 200
+        jobs = listing.json()["jobs"]
+        assert jobs and all("result" not in job for job in jobs)
+
+    def test_get_unknown_campaign_404s(self, client):
+        response = client.get("/campaigns/CMP-9999")
+        assert response.status == 404
+
+    def test_campaign_metrics_exported(self, client):
+        client.post("/campaigns", json=_small_spec())
+        metrics = client.get("/metrics")
+        assert 'repro_campaign_jobs_total{status="done"}' in metrics.text
+        assert "repro_campaign_latency_seconds" in metrics.text
