@@ -1,0 +1,107 @@
+"""Benchmark: churn-stream throughput and incremental-vs-full under churn.
+
+The churn subsystem claims that (a) a seeded event stream can be applied and
+*verified* fast enough that soak tests are routine, and (b) keeping the
+verification state incrementally under churn beats re-running a full sweep
+after every event burst — the same claim the online monitor makes, now
+measured under continuous change instead of a one-shot mutation.
+
+The benchmark drives a checkpoint-free stream through :class:`ChurnDriver`
+on the small profile, timing the monitor polls (the incremental maintenance
+cost) separately from the event application, then runs the differential
+oracle once at the end and times the from-scratch sweep it contains:
+
+* **events/sec** — end-to-end churn throughput (apply + poll);
+* **speedup** — (full-sweep time x monitor passes) / total poll time: what
+  a recheck-everything pipeline would have cost over the same bursts;
+* **checkpoint_divergence** — always asserted 0, LAX or not: the oracle is
+  a correctness gate, not a wall-clock one.
+
+With ``REPRO_BENCH_JSON`` set, results land in ``BENCH_churn.json``
+(validated by ``check_bench_json.py`` via the ``events_per_second`` gate
+key).  Wall-clock floors are skipped under ``REPRO_BENCH_LAX``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.churn import Checkpoint, ChurnDriver, generate_churn_stream
+
+from conftest import emit_bench_json, full_scale, lax
+
+PROFILE = "small"
+SEED = 2018
+#: Small-profile churn applies in a few tens of ms per event.
+EVENTS_PER_SECOND_FLOOR = 3.0
+#: Incremental maintenance must beat one full sweep per burst comfortably.
+SPEEDUP_FLOOR = 1.5
+
+
+def test_churn_throughput_and_incremental_speedup():
+    events = 300 if full_scale() else 120
+    driver = ChurnDriver.for_workload(PROFILE, events=events, seed=SEED)
+    stream = [
+        event
+        for event in generate_churn_stream(driver.profile)
+        if not isinstance(event, Checkpoint)
+    ]
+
+    poll_seconds = 0.0
+    start = time.perf_counter()
+    for event in stream:
+        driver.apply(event)
+        driver.clock.tick()
+        poll_start = time.perf_counter()
+        driver.monitor.poll()
+        poll_seconds += time.perf_counter() - poll_start
+    total_seconds = time.perf_counter() - start
+    passes = len(driver.monitor.passes)
+    assert passes > 0
+
+    # The differential oracle (strict: a divergence raises) doubles as the
+    # full-sweep timer; average a few sweeps to steady the ratio.
+    checkpoint_start = time.perf_counter()
+    record = driver.checkpoint(seq=stream[-1].seq + 1)
+    checkpoint_seconds = time.perf_counter() - checkpoint_start
+    sweep_times = []
+    for _ in range(3):
+        sweep_start = time.perf_counter()
+        driver.system.check()
+        sweep_times.append(time.perf_counter() - sweep_start)
+    full_sweep_seconds = sum(sweep_times) / len(sweep_times)
+
+    events_per_second = len(stream) / total_seconds
+    speedup = (full_sweep_seconds * passes) / poll_seconds if poll_seconds else 0.0
+    divergence = 0 if record.ok else 1
+
+    payload = {
+        "profile": PROFILE,
+        "events": len(stream),
+        "monitor_passes": passes,
+        "events_per_second": round(events_per_second, 2),
+        "poll_seconds": round(poll_seconds, 3),
+        "full_sweep_seconds": round(full_sweep_seconds, 4),
+        "checkpoint_seconds": round(checkpoint_seconds, 3),
+        "speedup": round(speedup, 2),
+        "checkpoint_divergence": divergence,
+        "final_fingerprint": record.full_fingerprint,
+        "lax": lax(),
+    }
+    emitted = emit_bench_json("churn", payload)
+    print(
+        f"\nchurn: {len(stream)} event(s) at {events_per_second:.1f} ev/s, "
+        f"{passes} pass(es), incremental {speedup:.1f}x over full sweeps, "
+        f"divergence={divergence}"
+    )
+    if emitted:
+        print(f"wrote {emitted}")
+
+    assert divergence == 0, "differential oracle diverged"
+    if not lax():
+        assert events_per_second >= EVENTS_PER_SECOND_FLOOR, (
+            f"churn throughput regressed: {events_per_second:.2f} ev/s"
+        )
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"incremental-vs-full speedup regressed: {speedup:.2f}x"
+        )

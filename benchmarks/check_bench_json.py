@@ -23,7 +23,13 @@ from pathlib import Path
 
 #: Keys that prove the emitter measured something.  A payload must carry at
 #: least one; each one present must be a finite number > 0.
-GATE_KEYS = ("speedup", "requests_per_second", "audit_p50_ms", "cells_per_second")
+GATE_KEYS = (
+    "speedup",
+    "requests_per_second",
+    "audit_p50_ms",
+    "cells_per_second",
+    "events_per_second",
+)
 
 
 def check_file(path: Path) -> list:

@@ -18,6 +18,7 @@ that sweep into a first-class subsystem:
 
 from .runner import CHANGE_WINDOW, CampaignReport, CellResult, run_campaign, run_cell
 from .spec import (
+    COUNTED_FAULT_CLASSES,
     ENGINE_MODES,
     FAULT_CLASSES,
     OBJECT_FAULT_CLASSES,
@@ -41,6 +42,7 @@ from .trace import (
 
 __all__ = [
     "CHANGE_WINDOW",
+    "COUNTED_FAULT_CLASSES",
     "ENGINE_MODES",
     "FAULT_CLASSES",
     "OBJECT_FAULT_CLASSES",

@@ -161,8 +161,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--faults",
         default="object-fault",
         help=(
-            "comma-separated fault classes, multi-fault takes ':count' "
-            f"({', '.join(FAULT_CLASSES)})"
+            "comma-separated fault classes; multi-fault takes ':count' and "
+            f"churn takes ':events' ({', '.join(FAULT_CLASSES)})"
         ),
     )
     run_parser.add_argument(

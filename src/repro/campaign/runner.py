@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..churn.driver import ChurnDriver
 from ..controller.controller import Controller
 from ..core.metrics import accuracy
 from ..core.system import ScoutReport, ScoutSystem
@@ -273,9 +274,80 @@ def _check_with_engine(
 # --------------------------------------------------------------------- #
 # Cell execution
 # --------------------------------------------------------------------- #
+def _run_churn_cell(cell: CampaignCell, start: float) -> CellResult:
+    """One ``churn`` cell: drive a seeded stream, then check + localize.
+
+    The stream length is the fault spec's ``count``; workload and stream both
+    derive from the cell's seed, so the whole run — every churn event record
+    and every checkpoint fingerprint — is replay-comparable.  The cell's
+    ``fingerprint`` is the *canonical* (engine-agnostic) form, because churn
+    cells exist to compare engines against each other: a serial sweep, a
+    sharded sweep and the monitor's incremental state must all agree on the
+    network's final verdict.  The driver runs strict, so a differential
+    divergence fails the cell loudly rather than recording bad behavior.
+    """
+    driver = ChurnDriver.for_workload(
+        cell.profile,
+        events=cell.fault.count,
+        seed=cell.seed,
+        change_window=CHANGE_WINDOW,
+        fault_kinds=cell.fault.fault_kinds,
+    )
+    churn_report = driver.run()
+
+    # The driver's own system is also the cell's final sweep: it shares the
+    # engine-selection boundary with the monitor (with the default bdd_limit
+    # a mid-size leaf could be BDD-checked here but hash-checked by the
+    # monitor, and engine choice — not network state — would decide whether
+    # the engines' fingerprints agree) and the campaign's SCOUT window.
+    system = driver.system
+    if cell.engine == "incremental":
+        report = driver.monitor.report()
+    elif cell.engine == "parallel":
+        report = system.check(parallel=True, max_workers=PARALLEL_WORKERS)
+    else:
+        report = system.check()
+    canonical = report.canonical()
+    scout: ScoutReport = system.localize(scope=cell.scope, report=report)
+
+    ground_truth = driver.effective_ground_truth(report=canonical)
+    result = accuracy(ground_truth, scout.hypothesis.objects())
+    events = list(churn_report.records)
+    events.append(
+        {
+            "event": "churn-summary",
+            "applied": churn_report.events_applied,
+            "skipped": churn_report.skipped,
+            "counts": {
+                kind: churn_report.counts[kind] for kind in sorted(churn_report.counts)
+            },
+            "checkpoints": len(churn_report.checkpoints),
+            "divergences": churn_report.divergence_count,
+        }
+    )
+    return CellResult(
+        cell=cell,
+        fingerprint=canonical.fingerprint(),
+        consistent=canonical.equivalent,
+        missing_rules=canonical.total_missing(),
+        ground_truth=sorted(str(uid) for uid in ground_truth),
+        hypothesis=sorted(str(risk) for risk in scout.hypothesis.objects()),
+        metrics={
+            "precision": result.precision,
+            "recall": result.recall,
+            "f1": result.f1,
+        },
+        events=events,
+        duration_seconds=time.perf_counter() - start,
+    )
+
+
 def run_cell(cell: CampaignCell) -> CellResult:
     """Run one cell hermetically and return its :class:`CellResult`."""
     start = time.perf_counter()
+
+    if cell.fault.kind == "churn":
+        return _run_churn_cell(cell, start)
 
     if cell.fault.kind == "unresponsive-switch":
         controller, events, ground_truth = _deploy_unresponsive_switch(cell)

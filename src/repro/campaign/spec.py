@@ -19,7 +19,11 @@ physical use cases:
 * ``tcam-overflow`` — deploy onto leaves whose TCAM is sized below the
   workload's peak occupancy (§V-B use case 1);
 * ``unresponsive-switch`` — silence the busiest leaf before the first push
-  (§V-B use cases 2-3).
+  (§V-B use cases 2-3);
+* ``churn`` — a seeded churn stream of ``count`` events (tenant rule
+  add/remove/modify, link flaps, reboots, drains, interleaved faults)
+  applied through :class:`~repro.churn.driver.ChurnDriver`, with the
+  differential oracle gating every checkpoint (see :mod:`repro.churn`).
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from ..faults.base import FaultKind
 from ..workloads.profiles import profile_names
 
 __all__ = [
+    "COUNTED_FAULT_CLASSES",
     "ENGINE_MODES",
     "FAULT_CLASSES",
     "OBJECT_FAULT_CLASSES",
@@ -42,9 +47,18 @@ __all__ = [
 ]
 
 #: Fault classes a campaign can sweep.
-FAULT_CLASSES = ("object-fault", "multi-fault", "tcam-overflow", "unresponsive-switch")
+FAULT_CLASSES = (
+    "object-fault",
+    "multi-fault",
+    "tcam-overflow",
+    "unresponsive-switch",
+    "churn",
+)
 #: Object-fault classes (the ones that go through the FaultInjector).
 OBJECT_FAULT_CLASSES = ("object-fault", "multi-fault")
+#: Fault classes whose ``count`` knob is meaningful (multi-fault: number of
+#: simultaneous object faults; churn: number of churn-stream events).
+COUNTED_FAULT_CLASSES = ("multi-fault", "churn")
 #: Verification engine modes a cell can run under.
 ENGINE_MODES = ("serial", "parallel", "incremental")
 #: Localization scopes (see :class:`~repro.core.system.ScoutSystem`).
@@ -55,8 +69,9 @@ SCOPES = ("controller", "switch")
 class FaultSpec:
     """One fault class plus its knobs.
 
-    ``count`` is the number of simultaneous object faults (``multi-fault``
-    only; the other classes are single-cause).  ``fault_kinds`` restricts
+    ``count`` is the number of simultaneous object faults for ``multi-fault``
+    and the churn-stream length for ``churn``; the other classes are
+    single-cause (``count=1``).  ``fault_kinds`` restricts
     the full/partial draw for object faults.  ``capacity_fraction`` sizes
     the constrained TCAM for ``tcam-overflow`` cells as a fraction of the
     workload's peak per-leaf occupancy.
@@ -74,7 +89,7 @@ class FaultSpec:
             raise ValueError(f"unknown fault class {self.kind!r} (known: {known})")
         if self.count < 1:
             raise ValueError(f"fault count must be >= 1, got {self.count}")
-        if self.kind != "multi-fault" and self.count != 1:
+        if self.kind not in COUNTED_FAULT_CLASSES and self.count != 1:
             raise ValueError(f"fault class {self.kind!r} is single-cause (count=1)")
         if not self.fault_kinds:
             raise ValueError("fault_kinds must not be empty")
@@ -87,8 +102,10 @@ class FaultSpec:
 
     @property
     def label(self) -> str:
-        """Compact identifier used in cell ids (``multi-fault-x3``)."""
-        return f"{self.kind}-x{self.count}" if self.kind == "multi-fault" else self.kind
+        """Compact identifier used in cell ids (``multi-fault-x3``, ``churn-x50``)."""
+        if self.kind in COUNTED_FAULT_CLASSES:
+            return f"{self.kind}-x{self.count}"
+        return self.kind
 
     @classmethod
     def parse(cls, text: str) -> "FaultSpec":

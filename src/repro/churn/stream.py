@@ -1,0 +1,99 @@
+"""Seeded churn-stream generation.
+
+``generate_churn_stream`` expands a :class:`ChurnProfile` into the concrete
+event sequence: one seeded RNG drives every draw (event kind, per-event
+target seeds, flap/drain durations, fault burst sizes), so the stream is a
+pure function of the profile.  Checkpoints are interleaved every
+``checkpoint_interval`` events and always terminate the stream, giving every
+run at least one differential-oracle pass over its final state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..workloads.churn_profiles import CHURN_EVENT_KINDS, ChurnProfile
+from .events import (
+    Checkpoint,
+    ChurnEvent,
+    FaultBurst,
+    LinkFlap,
+    PolicyAdd,
+    PolicyModify,
+    PolicyRemove,
+    SwitchDrain,
+    SwitchReboot,
+)
+
+__all__ = ["generate_churn_stream"]
+
+#: Seeds handed to per-event target draws are 32-bit, which keeps the JSONL
+#: compact and is far beyond what the sorted-candidate draws need.
+_SEED_BITS = 32
+
+
+def _draw_seed(rng: random.Random) -> int:
+    return rng.getrandbits(_SEED_BITS)
+
+
+def generate_churn_stream(profile: ChurnProfile) -> List[ChurnEvent]:
+    """Expand ``profile`` into its deterministic churn event sequence.
+
+    ``seq`` numbers count every emitted record (checkpoints included), so a
+    stream slice ``events[:k]`` is always a valid prefix for replay.
+    """
+    rng = random.Random(profile.seed)
+    weights = profile.mix.weights()
+    events: List[ChurnEvent] = []
+    seq = 0
+    rule_id = 0
+    since_checkpoint = 0
+
+    for _ in range(profile.events):
+        kind = rng.choices(CHURN_EVENT_KINDS, weights=weights, k=1)[0]
+        seq += 1
+        if kind == "policy-add":
+            rule_id += 1
+            events.append(
+                PolicyAdd(seq=seq, rule_id=rule_id, draw_seed=_draw_seed(rng))
+            )
+        elif kind == "policy-modify":
+            events.append(PolicyModify(seq=seq, draw_seed=_draw_seed(rng)))
+        elif kind == "policy-remove":
+            events.append(PolicyRemove(seq=seq, draw_seed=_draw_seed(rng)))
+        elif kind == "link-flap":
+            events.append(
+                LinkFlap(
+                    seq=seq,
+                    draw_seed=_draw_seed(rng),
+                    down_ticks=rng.randint(*profile.flap_down_ticks),
+                )
+            )
+        elif kind == "switch-reboot":
+            events.append(SwitchReboot(seq=seq, draw_seed=_draw_seed(rng)))
+        elif kind == "switch-drain":
+            events.append(
+                SwitchDrain(
+                    seq=seq,
+                    draw_seed=_draw_seed(rng),
+                    duration_events=rng.randint(*profile.drain_duration_events),
+                )
+            )
+        else:
+            events.append(
+                FaultBurst(
+                    seq=seq,
+                    draw_seed=_draw_seed(rng),
+                    count=rng.randint(*profile.faults_per_event),
+                )
+            )
+        since_checkpoint += 1
+        if since_checkpoint >= profile.checkpoint_interval:
+            seq += 1
+            events.append(Checkpoint(seq=seq))
+            since_checkpoint = 0
+
+    if not events or not isinstance(events[-1], Checkpoint):
+        events.append(Checkpoint(seq=seq + 1))
+    return events

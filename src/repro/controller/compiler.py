@@ -13,7 +13,7 @@ Two outputs, both derived from the same :class:`~repro.policy.graph.PolicyIndex`
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..policy.graph import PolicyIndex
 from ..policy.objects import PolicyObject
@@ -25,9 +25,15 @@ __all__ = [
     "compile_logical_rules",
     "compile_logical_rules_for_switch",
     "compile_pair_rules",
+    "build_instruction_batch_for_switch",
     "build_instruction_batches",
     "SwitchBatch",
 ]
+
+#: Deterministic instruction ordering within a batch (see
+#: :func:`build_instruction_batches`): VRFs, then filters, then contracts,
+#: then EPGs, ties broken by uid.
+_TYPE_ORDER = {"vrf": 0, "filter": 1, "contract": 2, "epg": 3}
 
 #: Per-switch instruction batch: (instructions, endpoint attachments).
 SwitchBatch = Tuple[List[Instruction], List[AttachEndpoint]]
@@ -90,6 +96,77 @@ def compile_logical_rules_for_switch(index: PolicyIndex, switch_uid: str) -> Lis
     return list(bucket.values())
 
 
+def _switch_batch(
+    index: PolicyIndex,
+    switch_uid: str,
+    lookup: Callable[[str], Optional[PolicyObject]],
+    attachments: List[AttachEndpoint],
+    operation: Operation,
+    issued_at: int,
+) -> SwitchBatch:
+    """One switch's batch; ``lookup`` resolves a uid to its object (or None)."""
+    needed: Dict[str, PolicyObject] = {}
+    for pair in index.pairs_on_switch(switch_uid):
+        for uid in index.risks_for_pair(pair):
+            obj = lookup(uid)
+            if obj is not None:
+                needed[uid] = obj
+    # EPGs that are attached locally but have no pairs yet still need
+    # their EPG and VRF objects (they may gain contracts later).
+    for attach in attachments:
+        epg = lookup(attach.epg_uid)
+        if epg is not None:
+            needed[epg.uid] = epg
+            vrf = lookup(getattr(epg, "vrf_uid", ""))
+            if vrf is not None:
+                needed[vrf.uid] = vrf
+    ordered = sorted(
+        needed.values(),
+        key=lambda obj: (_TYPE_ORDER.get(obj.object_type.value, 9), obj.uid),
+    )
+    instructions = [
+        Instruction(operation=operation, obj=obj, sequence=seq, issued_at=issued_at)
+        for seq, obj in enumerate(ordered)
+    ]
+    return instructions, attachments
+
+
+def build_instruction_batch_for_switch(
+    policy: NetworkPolicy,
+    switch_uid: str,
+    index: Optional[PolicyIndex] = None,
+    operation: Operation = Operation.ADD,
+    issued_at: int = 0,
+) -> SwitchBatch:
+    """Build one switch's full-state batch without compiling the whole fabric.
+
+    For any switch the result equals the corresponding entry of
+    :func:`build_instruction_batches` (same objects, same deterministic
+    ordering), but only this switch's pairs are visited and object uids are
+    resolved through the policy's own lookup instead of materializing a
+    fabric-wide uid map — the per-switch resynchronisation path (a churn
+    driver re-pushing a rebooted or drain-restored leaf) stays cheap even
+    at datacenter scale.  The one remaining whole-policy walk is the
+    endpoint scan for this switch's attachments.
+    """
+    index = index or PolicyIndex(policy)
+
+    def lookup(uid: str) -> Optional[PolicyObject]:
+        return policy.get(uid) if uid in policy else None
+
+    attachments = [
+        AttachEndpoint(
+            endpoint_uid=endpoint.uid,
+            epg_uid=endpoint.epg_uid,
+            switch_uid=switch_uid,
+            issued_at=issued_at,
+        )
+        for endpoint in policy.endpoints()
+        if endpoint.switch_uid == switch_uid
+    ]
+    return _switch_batch(index, switch_uid, lookup, attachments, operation, issued_at)
+
+
 def build_instruction_batches(
     policy: NetworkPolicy,
     index: Optional[PolicyIndex] = None,
@@ -128,55 +205,22 @@ def build_instruction_batches(
             )
         )
 
-    type_order = {"vrf": 0, "filter": 1, "contract": 2, "epg": 3}
-
     for switch_uid in index.all_switches():
-        needed: Dict[str, PolicyObject] = {}
-        for pair in index.pairs_on_switch(switch_uid):
-            for uid in index.risks_for_pair(pair):
-                obj = objects_by_uid.get(uid)
-                if obj is not None:
-                    needed[uid] = obj
-        # EPGs that are attached locally but have no pairs yet still need
-        # their EPG and VRF objects (they may gain contracts later).
-        for attach in attachments_per_switch.get(switch_uid, ()):
-            epg = objects_by_uid.get(attach.epg_uid)
-            if epg is not None:
-                needed[epg.uid] = epg
-                vrf = objects_by_uid.get(getattr(epg, "vrf_uid", ""))
-                if vrf is not None:
-                    needed[vrf.uid] = vrf
-
-        ordered = sorted(
-            needed.values(),
-            key=lambda obj: (type_order.get(obj.object_type.value, 9), obj.uid),
+        batches[switch_uid] = _switch_batch(
+            index,
+            switch_uid,
+            objects_by_uid.get,
+            attachments_per_switch.get(switch_uid, []),
+            operation,
+            issued_at,
         )
-        instructions = [
-            Instruction(operation=operation, obj=obj, sequence=seq, issued_at=issued_at)
-            for seq, obj in enumerate(ordered)
-        ]
-        batches[switch_uid] = (instructions, attachments_per_switch.get(switch_uid, []))
 
     # Switches that host endpoints but no pairs at all still need a batch
     # (attachments only) so the agent learns its local endpoints.
     for switch_uid, attaches in attachments_per_switch.items():
         if switch_uid not in batches:
-            needed = {}
-            for attach in attaches:
-                epg = objects_by_uid.get(attach.epg_uid)
-                if epg is not None:
-                    needed[epg.uid] = epg
-                    vrf = objects_by_uid.get(getattr(epg, "vrf_uid", ""))
-                    if vrf is not None:
-                        needed[vrf.uid] = vrf
-            ordered = sorted(
-                needed.values(),
-                key=lambda obj: (type_order.get(obj.object_type.value, 9), obj.uid),
+            batches[switch_uid] = _switch_batch(
+                index, switch_uid, objects_by_uid.get, attaches, operation, issued_at
             )
-            instructions = [
-                Instruction(operation=operation, obj=obj, sequence=seq, issued_at=issued_at)
-                for seq, obj in enumerate(ordered)
-            ]
-            batches[switch_uid] = (instructions, attaches)
 
     return batches

@@ -67,3 +67,23 @@ class FaultInjectionError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised when a synthetic workload/profile cannot be generated."""
+
+
+class ChurnError(ReproError):
+    """Raised for invalid churn streams or churn-driver misuse."""
+
+
+class ChurnDivergenceError(ChurnError):
+    """Raised when the churn differential oracle fails.
+
+    The incrementally maintained verification state no longer matches a
+    from-scratch full check (or the incident ledger no longer matches the
+    violating switches).  This is the strongest correctness signal the
+    codebase has: it means an event slipped through the blast-radius
+    bookkeeping.  The ``checkpoint`` attribute carries the offending
+    :class:`repro.churn.driver.CheckpointRecord`.
+    """
+
+    def __init__(self, message: str, checkpoint=None):
+        super().__init__(message)
+        self.checkpoint = checkpoint

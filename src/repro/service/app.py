@@ -17,6 +17,9 @@ GET     ``/audits/{job_id}``               poll one job: status → full report
 POST    ``/campaigns``                     run a fault-injection campaign (sync)
 GET     ``/campaigns``                     list campaign jobs (without results)
 GET     ``/campaigns/{job_id}``            poll one campaign job
+POST    ``/churn``                         run a hermetic churn soak (sync)
+GET     ``/churn``                         list churn jobs (without results)
+GET     ``/churn/{job_id}``                poll one churn job
 GET     ``/incidents``                     incidents, ``?status=`` / ``?switch=``
 GET     ``/incidents/{incident_id}``       one incident
 POST    ``/incidents/{incident_id}/resolve``  operator ack (409 when closed)
@@ -38,10 +41,12 @@ from typing import Dict, Optional
 
 from ..campaign.runner import run_campaign
 from ..campaign.spec import CampaignSpec
+from ..churn.driver import ChurnDriver
 from ..controller.controller import Controller
 from ..core.system import ScoutSystem
 from ..online.incidents import IncidentStatus
 from ..online.monitor import NetworkMonitor
+from ..workloads.churn_profiles import churn_profile_for
 from ..workloads.generator import generate_workload
 from ..workloads.profiles import resolve_profile
 from .http import BadRequest, Conflict, NotFound, Request, Response, Router
@@ -63,6 +68,13 @@ _CAMPAIGN_PARAMS = frozenset(
 #: whole workload generations per cell; anything bigger belongs on the
 #: ``repro-campaign`` CLI, not behind an HTTP request.
 MAX_CAMPAIGN_CELLS = 64
+
+#: Parameters ``POST /churn`` accepts.
+_CHURN_PARAMS = frozenset({"profile", "seed", "events", "checkpoint_interval", "sync"})
+
+#: Hard ceiling on churn-stream length for service-side soaks.  Longer
+#: streams belong in the dedicated soak suite, not behind an HTTP request.
+MAX_CHURN_EVENTS = 500
 
 
 def _job_response(job: AuditJob) -> Response:
@@ -111,6 +123,18 @@ class ScoutService:
             prefix="CMP",
             metric_prefix="campaign",
         )
+        # Churn soaks run hermetically against a *fresh* workload (never the
+        # served fabric: a reboot event wiping a production leaf's TCAM over
+        # HTTP would be an operator's worst day), synchronously by default
+        # like campaigns — a probe POSTs a short stream and reads the
+        # checkpoint verdicts out of the response.
+        self.churn = AuditQueue(
+            self._run_churn,
+            sync=True,
+            metrics=self.metrics,
+            prefix="CHN",
+            metric_prefix="churn",
+        )
         self.router = Router()
         self._register_routes()
         self._register_gauges()
@@ -129,6 +153,7 @@ class ScoutService:
         """Stop the job workers and detach the monitor."""
         self.queue.shutdown()
         self.campaigns.shutdown()
+        self.churn.shutdown()
         if self.monitor.running:
             self.monitor.stop()
 
@@ -157,6 +182,9 @@ class ScoutService:
         add("POST", "/campaigns", self._post_campaign)
         add("GET", "/campaigns", self._list_campaigns)
         add("GET", "/campaigns/{job_id}", self._get_campaign)
+        add("POST", "/churn", self._post_churn)
+        add("GET", "/churn", self._list_churn)
+        add("GET", "/churn/{job_id}", self._get_churn)
         add("GET", "/incidents", self._list_incidents)
         add("GET", "/incidents/{incident_id}", self._get_incident)
         add("POST", "/incidents/{incident_id}/resolve", self._resolve_incident)
@@ -292,6 +320,15 @@ class ScoutService:
                 f"campaign grid has {cells} cells, the service caps at "
                 f"{MAX_CAMPAIGN_CELLS}; run larger sweeps through repro-campaign"
             )
+        # A churn cell runs `count` events — cap it like POST /churn does, or
+        # a one-cell grid could smuggle an unbounded soak past the cell cap.
+        for fault in spec.faults:
+            if fault.kind == "churn" and fault.count > MAX_CHURN_EVENTS:
+                raise BadRequest(
+                    f"churn fault runs {fault.count} events, the service caps "
+                    f"at {MAX_CHURN_EVENTS}; run longer soaks through the "
+                    f"soak suite"
+                )
         sync_override = body.get("sync")
         job = self.campaigns.submit(
             {"spec": spec.to_dict()},
@@ -307,6 +344,73 @@ class ScoutService:
         job = self.campaigns.get(request.params["job_id"])
         if job is None:
             raise NotFound(f"unknown campaign job {request.params['job_id']!r}")
+        return {"job": job.to_dict()}
+
+    # ------------------------------------------------------------------ #
+    # Handlers: churn soaks
+    # ------------------------------------------------------------------ #
+    def _run_churn(self, params: Dict) -> Dict:
+        """Execute one churn job: hermetic seeded stream + differential oracle.
+
+        The driver runs non-strict so a divergence is *reported* (the
+        ``divergence_count`` field and per-checkpoint records) instead of
+        500-ing the job — an operator probing a build wants the evidence,
+        not a stack trace.
+        """
+        driver = ChurnDriver.for_workload(
+            params["profile"],
+            events=params["events"],
+            seed=params.get("seed"),
+            checkpoint_interval=params.get("checkpoint_interval"),
+            strict=False,
+        )
+        return driver.run().to_dict()
+
+    def _post_churn(self, request: Request) -> Response:
+        body = request.json_body()
+        unknown = set(body) - _CHURN_PARAMS
+        if unknown:
+            raise BadRequest(
+                f"unknown churn parameter(s): {', '.join(sorted(map(str, unknown)))}"
+            )
+        if "profile" not in body:
+            raise BadRequest("churn request needs a 'profile'")
+        events = body.get("events", 50)
+        if isinstance(events, bool) or not isinstance(events, int) or events < 1:
+            raise BadRequest(f"events must be a positive integer, got {events!r}")
+        if events > MAX_CHURN_EVENTS:
+            raise BadRequest(
+                f"churn stream has {events} events, the service caps at "
+                f"{MAX_CHURN_EVENTS}; run longer soaks through the soak suite"
+            )
+        params: Dict = {"profile": str(body["profile"]), "events": events}
+        for key, minimum in (("seed", None), ("checkpoint_interval", 1)):
+            value = body.get(key)
+            if value is not None:
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise BadRequest(f"{key} must be an integer, got {value!r}")
+                if minimum is not None and value < minimum:
+                    raise BadRequest(f"{key} must be >= {minimum}, got {value!r}")
+                params[key] = value
+        try:
+            # Validate the profile name up front so a typo is a 400, not a
+            # failed job (churn_profile_for raises the listing ValueError).
+            churn_profile_for(params["profile"])
+        except ValueError as exc:
+            raise BadRequest(str(exc)) from None
+        sync_override = body.get("sync")
+        job = self.churn.submit(
+            params, sync=None if sync_override is None else bool(sync_override)
+        )
+        return _job_response(job)
+
+    def _list_churn(self, request: Request) -> Dict:
+        return {"jobs": [job.to_dict(with_result=False) for job in self.churn.jobs()]}
+
+    def _get_churn(self, request: Request) -> Dict:
+        job = self.churn.get(request.params["job_id"])
+        if job is None:
+            raise NotFound(f"unknown churn job {request.params['job_id']!r}")
         return {"job": job.to_dict()}
 
     # ------------------------------------------------------------------ #

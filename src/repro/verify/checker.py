@@ -131,6 +131,50 @@ class EquivalenceReport:
             "switches": {uid: self.results[uid].to_dict() for uid in sorted(self.results)},
         }
 
+    def canonical(self) -> "EquivalenceReport":
+        """An engine-agnostic, order-canonical copy of this report.
+
+        Two reports describing the same *network state* can still differ in
+        two observably irrelevant ways: which engine produced each verdict
+        (the incremental checker proves clean switches with a digest
+        comparison, a batch sweep runs BDDs) and the order the missing/extra
+        rule lists were emitted in (a pair-patched logical cache iterates
+        rules in a different insertion order than a from-scratch compile).
+        ``canonical()`` normalizes both — the engine label collapses to
+        ``"semantic"`` and the rule lists are sorted by match key and
+        provenance — so ``canonical().fingerprint()`` is identical iff the
+        verdicts, counts and rule *sets* (with full provenance) agree.
+        This is the identity the churn subsystem's differential oracle
+        (incremental-under-churn vs. from-scratch recheck) gates on.
+        """
+
+        def rule_order(rule: TcamRule) -> Tuple:
+            return (
+                repr(rule.match_key()),
+                rule.vrf_uid,
+                rule.src_epg_uid,
+                rule.dst_epg_uid,
+                rule.contract_uid,
+                rule.filter_uid,
+            )
+
+        normalized = EquivalenceReport()
+        for switch_uid, result in self.results.items():
+            normalized.results[switch_uid] = SwitchCheckResult(
+                switch_uid=result.switch_uid,
+                equivalent=result.equivalent,
+                missing_rules=sorted(result.missing_rules, key=rule_order),
+                extra_rules=sorted(result.extra_rules, key=rule_order),
+                logical_count=result.logical_count,
+                deployed_count=result.deployed_count,
+                engine="semantic",
+            )
+        return normalized
+
+    def semantic_fingerprint(self) -> str:
+        """:meth:`fingerprint` of the :meth:`canonical` form (oracle identity)."""
+        return self.canonical().fingerprint()
+
     def fingerprint(self) -> str:
         """SHA-256 over a canonical serialization of every per-switch result.
 

@@ -1,5 +1,12 @@
 """Synthetic workloads: profiles, the policy generator and scenario builders."""
 
+from .churn_profiles import (
+    CHURN_EVENT_KINDS,
+    ChurnMix,
+    ChurnProfile,
+    churn_profile_for,
+    churn_profile_names,
+)
 from .generator import GeneratedWorkload, generate_policy, generate_workload
 from .profiles import (
     WorkloadProfile,
@@ -21,9 +28,14 @@ from .scenarios import (
 )
 
 __all__ = [
+    "CHURN_EVENT_KINDS",
+    "ChurnMix",
+    "ChurnProfile",
     "GeneratedWorkload",
     "Scenario",
     "WorkloadProfile",
+    "churn_profile_for",
+    "churn_profile_names",
     "datacenter_profile",
     "generate_policy",
     "generate_workload",

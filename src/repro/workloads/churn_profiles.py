@@ -1,0 +1,197 @@
+"""Churn profiles: how a workload's control plane keeps changing.
+
+A :class:`WorkloadProfile` describes a *static* snapshot — the policy shape
+the generator materializes once.  A :class:`ChurnProfile` describes how that
+snapshot *keeps moving*: the relative frequency of tenant rule churn
+(add/remove/modify), topology churn (link flaps, switch reboots, maintenance
+drains) and interleaved fault injection, plus how often the stream stops for
+a differential checkpoint.  One churn profile is registered per workload
+profile, tuned to its size: the small/testbed fabrics see every event family
+(the soak suites run them), the larger profiles lean policy-heavy because a
+reboot on a 500-leaf fabric is rare relative to rule churn.
+
+Everything here is plain data — the event stream itself is produced by
+:mod:`repro.churn.stream` from a profile and a seed, and applying it is the
+job of :class:`repro.churn.driver.ChurnDriver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "CHURN_EVENT_KINDS",
+    "ChurnMix",
+    "ChurnProfile",
+    "churn_profile_for",
+    "churn_profile_names",
+]
+
+#: Every churn event kind a mix can weight, in canonical draw order.  The
+#: order is part of the stream contract: the generator draws kinds with
+#: ``rng.choices`` over exactly this sequence, so reordering it would change
+#: every recorded stream.
+CHURN_EVENT_KINDS = (
+    "policy-add",
+    "policy-modify",
+    "policy-remove",
+    "link-flap",
+    "switch-reboot",
+    "switch-drain",
+    "fault",
+)
+
+
+@dataclass(frozen=True)
+class ChurnMix:
+    """Relative weights of the churn event families (0 disables a family)."""
+
+    policy_add: float = 4.0
+    policy_modify: float = 3.0
+    policy_remove: float = 2.0
+    link_flap: float = 1.0
+    switch_reboot: float = 0.5
+    switch_drain: float = 0.5
+    fault: float = 1.0
+
+    def __post_init__(self) -> None:
+        for kind, weight in zip(CHURN_EVENT_KINDS, self.weights()):
+            if weight < 0:
+                raise ValueError(
+                    f"churn weight for {kind!r} must be >= 0, got {weight}"
+                )
+        if not any(self.weights()):
+            raise ValueError("churn mix needs at least one positive weight")
+
+    def weights(self) -> Tuple[float, ...]:
+        """Weights aligned with :data:`CHURN_EVENT_KINDS`."""
+        return (
+            self.policy_add,
+            self.policy_modify,
+            self.policy_remove,
+            self.link_flap,
+            self.switch_reboot,
+            self.switch_drain,
+            self.fault,
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        return dict(zip(CHURN_EVENT_KINDS, self.weights()))
+
+
+@dataclass(frozen=True)
+class ChurnProfile:
+    """All parameters of one churn stream over one workload profile."""
+
+    name: str
+    #: Short name of the workload profile the stream runs against (see
+    #: :func:`repro.workloads.profiles.resolve_profile`).
+    workload: str
+    #: Number of churn events in the stream (checkpoints ride on top).
+    events: int = 200
+    #: A differential checkpoint is inserted after every this many events.
+    checkpoint_interval: int = 25
+    seed: int = 2018
+    mix: ChurnMix = field(default_factory=ChurnMix)
+    #: Logical ticks a flapped link stays down (inclusive range).
+    flap_down_ticks: Tuple[int, int] = (1, 3)
+    #: How many subsequent events a drained switch stays out of service.
+    drain_duration_events: Tuple[int, int] = (2, 6)
+    #: Simultaneous object faults per fault event (inclusive range).
+    faults_per_event: Tuple[int, int] = (1, 2)
+
+    def __post_init__(self) -> None:
+        if self.events < 1:
+            raise ValueError(f"churn profile {self.name!r} needs >= 1 event")
+        if self.checkpoint_interval < 1:
+            raise ValueError(
+                f"churn profile {self.name!r} needs checkpoint_interval >= 1"
+            )
+        for label, bounds in (
+            ("flap_down_ticks", self.flap_down_ticks),
+            ("drain_duration_events", self.drain_duration_events),
+            ("faults_per_event", self.faults_per_event),
+        ):
+            low, high = bounds
+            if low < 1 or high < low:
+                raise ValueError(
+                    f"churn profile {self.name!r}: invalid {label} range {bounds}"
+                )
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "workload": self.workload,
+            "events": self.events,
+            "checkpoint_interval": self.checkpoint_interval,
+            "seed": self.seed,
+            "mix": self.mix.to_dict(),
+            "flap_down_ticks": list(self.flap_down_ticks),
+            "drain_duration_events": list(self.drain_duration_events),
+            "faults_per_event": list(self.faults_per_event),
+        }
+
+
+#: Per-workload churn shapes.  Small fabrics exercise every family; the big
+#: profiles are policy-churn-heavy (physical churn is rare per-switch at
+#: scale, and a reboot there would dominate the stream's wall-clock).
+_CHURN_MIXES: Dict[str, ChurnMix] = {
+    "small": ChurnMix(),
+    "testbed": ChurnMix(policy_add=3.0, policy_modify=3.0, policy_remove=1.5),
+    "simulation": ChurnMix(policy_add=5.0, policy_modify=4.0, policy_remove=2.0),
+    "production": ChurnMix(
+        policy_add=8.0,
+        policy_modify=6.0,
+        policy_remove=3.0,
+        link_flap=1.0,
+        switch_reboot=0.25,
+        switch_drain=0.25,
+        fault=1.0,
+    ),
+    "datacenter": ChurnMix(
+        policy_add=10.0,
+        policy_modify=8.0,
+        policy_remove=4.0,
+        link_flap=1.0,
+        switch_reboot=0.1,
+        switch_drain=0.1,
+        fault=0.5,
+    ),
+}
+
+
+def churn_profile_names() -> List[str]:
+    """Workload names that have a registered churn shape."""
+    return sorted(_CHURN_MIXES)
+
+
+def churn_profile_for(
+    workload: str,
+    events: Optional[int] = None,
+    seed: Optional[int] = None,
+    checkpoint_interval: Optional[int] = None,
+) -> ChurnProfile:
+    """The registered churn profile for one workload profile name.
+
+    Raises :class:`ValueError` listing the known names (the same contract as
+    :func:`~repro.workloads.profiles.resolve_profile`), so the campaign spec
+    validation and the service route surface it directly.
+    """
+    mix = _CHURN_MIXES.get(workload)
+    if mix is None:
+        known = ", ".join(churn_profile_names())
+        raise ValueError(f"no churn profile for workload {workload!r} (known: {known})")
+    profile = ChurnProfile(name=f"churn-{workload}", workload=workload, mix=mix)
+    updates: Dict = {}
+    if events is not None:
+        updates["events"] = events
+    if seed is not None:
+        updates["seed"] = seed
+    if checkpoint_interval is not None:
+        updates["checkpoint_interval"] = checkpoint_interval
+    elif events is not None:
+        # Scale the checkpoint cadence with the stream: ~8 checkpoints for
+        # long soaks, every few events for short campaign cells.
+        updates["checkpoint_interval"] = max(1, min(25, events // 8 or 1))
+    return replace(profile, **updates) if updates else profile

@@ -68,6 +68,37 @@ class TestRunCell:
         assert incremental.hypothesis == serial.hypothesis
         assert incremental.metrics == serial.metrics
 
+    def test_churn_cell_runs_stream_with_zero_divergence(self):
+        result = run_cell(_cell(FaultSpec("churn", count=25), seed=3))
+        summary = result.events[-1]
+        assert summary["event"] == "churn-summary"
+        assert summary["divergences"] == 0
+        assert summary["applied"] + summary["skipped"] == 25
+        checkpoints = [e for e in result.events if e["event"] == "checkpoint"]
+        assert checkpoints and all(not c["diverged"] for c in checkpoints)
+        # The final checkpoint's full-check fingerprint is the cell's verdict
+        # (canonical form on both sides).
+        assert checkpoints[-1]["fingerprint"] == result.fingerprint
+
+    def test_churn_cell_honors_fault_kinds(self):
+        result = run_cell(
+            _cell(FaultSpec("churn", count=25, fault_kinds=("full",)), seed=3)
+        )
+        fault_events = [e for e in result.events if e.get("event") == "fault"]
+        assert fault_events, "stream must include fault bursts at this length"
+        assert all(kind == "full" for e in fault_events for kind in e["kinds"])
+
+    def test_churn_cell_engines_are_fingerprint_identical(self):
+        serial = run_cell(_cell(FaultSpec("churn", count=20), seed=5))
+        incremental = run_cell(
+            _cell(FaultSpec("churn", count=20), engine="incremental", seed=5)
+        )
+        # Churn cells record the *canonical* fingerprint precisely so the
+        # incrementally maintained state is comparable with a fresh sweep.
+        assert serial.fingerprint == incremental.fingerprint
+        assert serial.events == incremental.events
+        assert serial.hypothesis == incremental.hypothesis
+
     def test_different_seeds_differ(self):
         one = run_cell(_cell(FaultSpec("object-fault"), seed=1))
         two = run_cell(_cell(FaultSpec("object-fault"), seed=2))

@@ -15,6 +15,13 @@ class TestFaultSpec:
     def test_multi_fault_label_carries_count(self):
         assert FaultSpec("multi-fault", count=4).label == "multi-fault-x4"
 
+    def test_churn_label_carries_stream_length(self):
+        assert FaultSpec("churn", count=50).label == "churn-x50"
+
+    def test_churn_accepts_counts_and_parses_shorthand(self):
+        assert FaultSpec.parse("churn:120") == FaultSpec("churn", count=120)
+        assert FaultSpec.from_dict({"kind": "churn", "count": 30}).count == 30
+
     def test_unknown_class_rejected(self):
         with pytest.raises(ValueError, match="unknown fault class"):
             FaultSpec("bit-rot")

@@ -6,7 +6,11 @@ import pytest
 
 from repro import ControlChannel, Controller, Fabric
 from repro.controller.changelog import ChangeLog
-from repro.controller.compiler import build_instruction_batches, compile_logical_rules
+from repro.controller.compiler import (
+    build_instruction_batch_for_switch,
+    build_instruction_batches,
+    compile_logical_rules,
+)
 from repro.exceptions import DeploymentError
 from repro.fabric import FaultCode
 from repro.policy import three_tier_policy
@@ -86,6 +90,20 @@ class TestCompiler:
         assert uids["vrf"] in s1_objects
         assert uids["web_app_contract"] in s1_objects
         assert uids["app_db_contract"] not in s1_objects
+
+    def test_scoped_batch_matches_full_builder(self, web_stack):
+        _, _, policy, _ = web_stack
+        full = build_instruction_batches(policy, issued_at=2)
+        for switch_uid in full:
+            scoped = build_instruction_batch_for_switch(
+                policy, switch_uid, issued_at=2
+            )
+            assert scoped == full[switch_uid]
+        # A switch the policy never touches gets an empty batch, not a crash.
+        instructions, attachments = build_instruction_batch_for_switch(
+            policy, "leaf-999", issued_at=2
+        )
+        assert instructions == [] and attachments == []
 
     def test_instruction_batches_deterministic_order(self, web_stack):
         _, _, policy, _ = web_stack

@@ -91,6 +91,13 @@ class TestPostCampaign:
         assert response.status == 400
         assert "caps at" in response.json()["error"]["detail"]
 
+    def test_oversized_churn_cell_rejected(self, client):
+        response = client.post(
+            "/campaigns", json=_small_spec(faults=["churn:100000"])
+        )
+        assert response.status == 400
+        assert "churn fault runs" in response.json()["error"]["detail"]
+
     def test_async_override_queues_the_job(self, client, service):
         response = client.post("/campaigns", json=_small_spec(sync=False))
         assert response.status == 202

@@ -145,3 +145,42 @@ class TestEquivalenceChecker:
         checker = EquivalenceChecker(engine="hash")
         report = checker.check_network({}, {"leaf-9": [_rule(80)]})
         assert report.results["leaf-9"].extra_rules
+
+
+class TestCanonicalReports:
+    """The engine-agnostic, order-canonical identity the churn oracle uses."""
+
+    def test_engine_label_is_normalized(self):
+        logical = {"leaf-1": [_rule(80)]}
+        deployed = {"leaf-1": [_rule(80)]}
+        bdd = EquivalenceChecker(engine="bdd").check_network(logical, deployed)
+        hashed = EquivalenceChecker(engine="hash").check_network(logical, deployed)
+        assert bdd.fingerprint() != hashed.fingerprint()  # engine is identity
+        assert bdd.canonical().fingerprint() == hashed.canonical().fingerprint()
+        assert bdd.semantic_fingerprint() == hashed.semantic_fingerprint()
+
+    def test_rule_order_is_normalized(self):
+        checker = EquivalenceChecker(engine="hash")
+        one = checker.check_network({"leaf-1": [_rule(80), _rule(443)]}, {"leaf-1": []})
+        two = checker.check_network({"leaf-1": [_rule(443), _rule(80)]}, {"leaf-1": []})
+        assert one.semantic_fingerprint() == two.semantic_fingerprint()
+
+    def test_real_differences_still_differ(self):
+        checker = EquivalenceChecker(engine="hash")
+        clean = checker.check_network({"leaf-1": [_rule(80)]}, {"leaf-1": [_rule(80)]})
+        broken = checker.check_network({"leaf-1": [_rule(80)]}, {"leaf-1": []})
+        assert clean.semantic_fingerprint() != broken.semantic_fingerprint()
+
+    def test_canonical_preserves_verdicts_and_counts(self):
+        checker = EquivalenceChecker(engine="bdd")
+        report = checker.check_network(
+            {"leaf-1": [_rule(80), _rule(443)]}, {"leaf-1": [_rule(80)]}
+        )
+        canonical = report.canonical()
+        result = canonical.results["leaf-1"]
+        assert result.engine == "semantic"
+        assert not result.equivalent
+        assert result.logical_count == 2 and result.deployed_count == 1
+        assert [r.port for r in result.missing_rules] == [443]
+        # The original report is untouched.
+        assert report.results["leaf-1"].engine == "bdd"
