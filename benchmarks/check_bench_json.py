@@ -29,7 +29,12 @@ GATE_KEYS = (
     "audit_p50_ms",
     "cells_per_second",
     "events_per_second",
+    "overhead_ratio",
 )
+
+#: A parallel benchmark that ships a stage attribution must have tiled most
+#: of the measured wall time, or the "dominant stage" claim is meaningless.
+ATTRIBUTION_COVERAGE_FLOOR = 0.9
 
 
 def check_file(path: Path) -> list:
@@ -52,6 +57,27 @@ def check_file(path: Path) -> list:
             problems.append(f"{path}: {key!r} is not a number: {value!r}")
         elif not math.isfinite(value) or value <= 0:
             problems.append(f"{path}: {key!r} must be finite and > 0, got {value}")
+    # An unenforced wall-clock floor passes silently in the test run; surface
+    # the measured ratio as a GitHub annotation so it lands in the job summary.
+    if payload.get("floor_enforced") is False and "speedup" in payload:
+        print(
+            f"::warning title={path.name} speedup floor not enforced::"
+            f"measured {payload['speedup']:.2f}x vs floor "
+            f"{payload.get('speedup_floor', '?')}x — a regression here does "
+            "not fail the build; check the attribution breakdown"
+        )
+    attribution = payload.get("attribution")
+    if attribution is not None:
+        coverage = (
+            attribution.get("coverage") if isinstance(attribution, dict) else None
+        )
+        if not isinstance(coverage, (int, float)) or isinstance(coverage, bool):
+            problems.append(f"{path}: attribution present but 'coverage' missing")
+        elif coverage < ATTRIBUTION_COVERAGE_FLOOR:
+            problems.append(
+                f"{path}: attribution covers only {coverage:.1%} of wall time "
+                f"(floor {ATTRIBUTION_COVERAGE_FLOOR:.0%})"
+            )
     return problems
 
 

@@ -26,6 +26,7 @@ from ..core.system import ScoutReport, ScoutSystem
 from ..faults.base import FaultKind
 from ..faults.injector import FaultInjector
 from ..faults.physical import make_switch_unresponsive
+from ..obs import span
 from ..online.delta import IncrementalChecker
 from ..verify.checker import EquivalenceReport
 from ..workloads.generator import GeneratedWorkload, generate_workload
@@ -286,14 +287,16 @@ def _run_churn_cell(cell: CampaignCell, start: float) -> CellResult:
     network's final verdict.  The driver runs strict, so a differential
     divergence fails the cell loudly rather than recording bad behavior.
     """
-    driver = ChurnDriver.for_workload(
-        cell.profile,
-        events=cell.fault.count,
-        seed=cell.seed,
-        change_window=CHANGE_WINDOW,
-        fault_kinds=cell.fault.fault_kinds,
-    )
-    churn_report = driver.run()
+    with span("campaign.deploy"):
+        driver = ChurnDriver.for_workload(
+            cell.profile,
+            events=cell.fault.count,
+            seed=cell.seed,
+            change_window=CHANGE_WINDOW,
+            fault_kinds=cell.fault.fault_kinds,
+        )
+    with span("campaign.inject"):
+        churn_report = driver.run()
 
     # The driver's own system is also the cell's final sweep: it shares the
     # engine-selection boundary with the monitor (with the default bdd_limit
@@ -301,17 +304,20 @@ def _run_churn_cell(cell: CampaignCell, start: float) -> CellResult:
     # monitor, and engine choice — not network state — would decide whether
     # the engines' fingerprints agree) and the campaign's SCOUT window.
     system = driver.system
-    if cell.engine == "incremental":
-        report = driver.monitor.report()
-    elif cell.engine == "parallel":
-        report = system.check(parallel=True, max_workers=PARALLEL_WORKERS)
-    else:
-        report = system.check()
-    canonical = report.canonical()
-    scout: ScoutReport = system.localize(scope=cell.scope, report=report)
+    with span("campaign.check", engine=cell.engine):
+        if cell.engine == "incremental":
+            report = driver.monitor.report()
+        elif cell.engine == "parallel":
+            report = system.check(parallel=True, max_workers=PARALLEL_WORKERS)
+        else:
+            report = system.check()
+        canonical = report.canonical()
+    with span("campaign.localize"):
+        scout: ScoutReport = system.localize(scope=cell.scope, report=report)
 
-    ground_truth = driver.effective_ground_truth(report=canonical)
-    result = accuracy(ground_truth, scout.hypothesis.objects())
+    with span("campaign.score"):
+        ground_truth = driver.effective_ground_truth(report=canonical)
+        result = accuracy(ground_truth, scout.hypothesis.objects())
     events = list(churn_report.records)
     events.append(
         {
@@ -346,37 +352,43 @@ def run_cell(cell: CampaignCell) -> CellResult:
     """Run one cell hermetically and return its :class:`CellResult`."""
     start = time.perf_counter()
 
-    if cell.fault.kind == "churn":
-        return _run_churn_cell(cell, start)
+    with span("campaign.cell", cell=cell.cell_id):
+        if cell.fault.kind == "churn":
+            return _run_churn_cell(cell, start)
 
-    if cell.fault.kind == "unresponsive-switch":
-        controller, events, ground_truth = _deploy_unresponsive_switch(cell)
-        touched = set(controller.fabric.leaf_uids())
-    elif cell.fault.kind == "tcam-overflow":
-        controller, events, ground_truth = _deploy_tcam_overflow(cell)
-        touched = set(controller.fabric.leaf_uids())
-    else:
-        _, controller = _deploy_workload(cell)
-        controller.deploy()
-        events, ground_truth, touched = [], set(), set()
+        with span("campaign.deploy"):
+            if cell.fault.kind == "unresponsive-switch":
+                controller, events, ground_truth = _deploy_unresponsive_switch(cell)
+                touched = set(controller.fabric.leaf_uids())
+            elif cell.fault.kind == "tcam-overflow":
+                controller, events, ground_truth = _deploy_tcam_overflow(cell)
+                touched = set(controller.fabric.leaf_uids())
+            else:
+                _, controller = _deploy_workload(cell)
+                controller.deploy()
+                events, ground_truth, touched = [], set(), set()
 
-    # The incremental engine is attached before object faults are injected
-    # so its baseline is the clean deployment and the faults arrive as
-    # events — the path the online monitor exercises in production.
-    incremental = (
-        IncrementalChecker(controller) if cell.engine == "incremental" else None
-    )
-    if incremental is not None:
-        incremental.bootstrap()
+        # The incremental engine is attached before object faults are injected
+        # so its baseline is the clean deployment and the faults arrive as
+        # events — the path the online monitor exercises in production.
+        incremental = (
+            IncrementalChecker(controller) if cell.engine == "incremental" else None
+        )
+        if incremental is not None:
+            incremental.bootstrap()
 
-    if cell.fault.kind in OBJECT_FAULT_CLASSES:
-        events, ground_truth, touched = _inject_object_faults(cell, controller)
+        with span("campaign.inject", kind=cell.fault.kind):
+            if cell.fault.kind in OBJECT_FAULT_CLASSES:
+                events, ground_truth, touched = _inject_object_faults(cell, controller)
 
-    system = ScoutSystem(controller, change_window=CHANGE_WINDOW)
-    report = _check_with_engine(cell, system, incremental, touched)
-    scout: ScoutReport = system.localize(scope=cell.scope, report=report)
+        system = ScoutSystem(controller, change_window=CHANGE_WINDOW)
+        with span("campaign.check", engine=cell.engine):
+            report = _check_with_engine(cell, system, incremental, touched)
+        with span("campaign.localize"):
+            scout: ScoutReport = system.localize(scope=cell.scope, report=report)
 
-    result = accuracy(ground_truth, scout.hypothesis.objects())
+        with span("campaign.score"):
+            result = accuracy(ground_truth, scout.hypothesis.objects())
     return CellResult(
         cell=cell,
         fingerprint=report.fingerprint(),

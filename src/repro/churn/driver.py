@@ -49,6 +49,7 @@ from ..fabric.switch import AgentState
 from ..faults.base import FaultKind
 from ..faults.injector import FaultInjector
 from ..faults.physical import make_switch_unresponsive, restore_switch
+from ..obs import span
 from ..online.monitor import NetworkMonitor
 from ..policy.objects import Contract, Epg, Filter, FilterEntry
 from ..protocol import DeliveryStatus, Instruction, Operation
@@ -368,26 +369,32 @@ class ChurnDriver:
     # Event application
     # ------------------------------------------------------------------ #
     def apply(self, event: ChurnEvent) -> Dict:
-        """Apply one event; returns its deterministic trace record."""
+        """Apply one event; returns its deterministic trace record.
+
+        Each event kind gets its own span name (``churn.policy-add``,
+        ``churn.link-flap``, …) — the kind set is small and fixed, so the
+        attribution table stays readable.
+        """
         if not isinstance(event, Checkpoint):
             self._events_seen += 1
-        self._expire_drains()
-        if isinstance(event, PolicyAdd):
-            return self._apply_add(event)
-        if isinstance(event, PolicyModify):
-            return self._apply_modify(event)
-        if isinstance(event, PolicyRemove):
-            return self._apply_remove(event)
-        if isinstance(event, LinkFlap):
-            return self._apply_flap(event)
-        if isinstance(event, SwitchReboot):
-            return self._apply_reboot(event)
-        if isinstance(event, SwitchDrain):
-            return self._apply_drain(event)
-        if isinstance(event, FaultBurst):
-            return self._apply_faults(event)
-        if isinstance(event, Checkpoint):
-            return self.checkpoint(event.seq).to_dict()
+        with span(f"churn.{event.kind}", seq=event.seq):
+            self._expire_drains()
+            if isinstance(event, PolicyAdd):
+                return self._apply_add(event)
+            if isinstance(event, PolicyModify):
+                return self._apply_modify(event)
+            if isinstance(event, PolicyRemove):
+                return self._apply_remove(event)
+            if isinstance(event, LinkFlap):
+                return self._apply_flap(event)
+            if isinstance(event, SwitchReboot):
+                return self._apply_reboot(event)
+            if isinstance(event, SwitchDrain):
+                return self._apply_drain(event)
+            if isinstance(event, FaultBurst):
+                return self._apply_faults(event)
+            if isinstance(event, Checkpoint):
+                return self.checkpoint(event.seq).to_dict()
         raise ChurnError(f"unknown churn event type {type(event).__name__}")
 
     def _expire_drains(self) -> None:
@@ -629,10 +636,12 @@ class ChurnDriver:
     # ------------------------------------------------------------------ #
     def checkpoint(self, seq: int = 0) -> CheckpointRecord:
         """Compare the incremental state against a from-scratch full check."""
-        if self.monitor.pending_events():
-            self.monitor.poll(force=True)
-        incremental = self.monitor.report()
-        full = self.system.check()
+        with span("churn.checkpoint.incremental"):
+            if self.monitor.pending_events():
+                self.monitor.poll(force=True)
+            incremental = self.monitor.report()
+        with span("churn.checkpoint.full_check"):
+            full = self.system.check()
         self._last_full_report = full
         record = CheckpointRecord(
             seq=seq,
@@ -695,18 +704,19 @@ class ChurnDriver:
             list(events) if events is not None else generate_churn_stream(self.profile)
         )
         report = ChurnReport(profile=self.profile)
-        for event in stream:
-            record = self.apply(event)
-            report.records.append(record)
-            if isinstance(event, Checkpoint):
-                # ``apply`` stored the full CheckpointRecord on the way out.
-                report.checkpoints.append(self._last_checkpoint)
-            elif "skipped" in record:
-                report.skipped += 1
-            else:
-                report.counts[event.kind] = report.counts.get(event.kind, 0) + 1
-            self.clock.tick()
-            self.monitor.poll()
+        with span("churn.run", events=len(stream)):
+            for event in stream:
+                record = self.apply(event)
+                report.records.append(record)
+                if isinstance(event, Checkpoint):
+                    # ``apply`` stored the full CheckpointRecord on the way out.
+                    report.checkpoints.append(self._last_checkpoint)
+                elif "skipped" in record:
+                    report.skipped += 1
+                else:
+                    report.counts[event.kind] = report.counts.get(event.kind, 0) + 1
+                self.clock.tick()
+                self.monitor.poll()
         if report.checkpoints:
             report.final_fingerprint = report.checkpoints[-1].full_fingerprint
             report.ground_truth = self.effective_ground_truth()

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, Optional, Protocol, Set
 
 from ..controller.changelog import ChangeLog
+from ..obs import span
 from ..risk.model import RiskModel
 from .hypothesis import Hypothesis, HypothesisEntry, SelectionReason
 
@@ -172,55 +173,58 @@ class ScoutLocalizer:
         unexplained = set(signature)
         iteration = 0
 
-        while unexplained:
-            iteration += 1
-            # K: risks with failed edges to currently-unexplained observations.
-            candidate_risks: Set[Hashable] = set()
-            for observation in unexplained:
-                candidate_risks |= working.failed_risks_for_element(observation)
-            faulty_set, gains = self._pick_candidates(working, candidate_risks, unexplained)
-            if not faulty_set:
-                break
-            # Prune every element (failed or not) depending on a chosen risk.
-            affected: Set[Hashable] = set()
-            for risk in faulty_set:
-                affected |= working.elements_for_risk(risk)
-            for risk in sorted(faulty_set, key=repr):
-                hypothesis.add(
-                    HypothesisEntry(
-                        risk=risk,
-                        reason=SelectionReason.HIT_AND_COVERAGE,
-                        hit_ratio=1.0,
-                        coverage_ratio=(len(gains[risk]) / len(unexplained)) if unexplained else 0.0,
-                        iteration=iteration,
-                        explained=set(gains[risk]),
-                    )
-                )
-            working.prune_elements(affected)
-            unexplained -= affected
-
-        # Stage 2: explain the residual observations via the change log.
-        if unexplained and oracle is not None:
-            for observation in sorted(unexplained, key=repr):
-                failed_objects = model.failed_risks_for_element(observation)
-                recent = oracle.recently_changed(failed_objects)
-                for risk in sorted(recent, key=repr):
-                    if risk in hypothesis:
-                        entry = hypothesis.entry_for(risk)
-                        if entry is not None:
-                            entry.explained.add(observation)
-                        hypothesis.explained.add(observation)
-                        continue
+        with span("scout.stage1", observations=len(signature)) as stage1:
+            while unexplained:
+                iteration += 1
+                # K: risks with failed edges to currently-unexplained observations.
+                candidate_risks: Set[Hashable] = set()
+                for observation in unexplained:
+                    candidate_risks |= working.failed_risks_for_element(observation)
+                faulty_set, gains = self._pick_candidates(working, candidate_risks, unexplained)
+                if not faulty_set:
+                    break
+                # Prune every element (failed or not) depending on a chosen risk.
+                affected: Set[Hashable] = set()
+                for risk in faulty_set:
+                    affected |= working.elements_for_risk(risk)
+                for risk in sorted(faulty_set, key=repr):
                     hypothesis.add(
                         HypothesisEntry(
                             risk=risk,
-                            reason=SelectionReason.CHANGE_LOG,
-                            hit_ratio=model.hit_ratio(risk),
-                            coverage_ratio=model.coverage_ratio(risk, signature),
+                            reason=SelectionReason.HIT_AND_COVERAGE,
+                            hit_ratio=1.0,
+                            coverage_ratio=(len(gains[risk]) / len(unexplained)) if unexplained else 0.0,
                             iteration=iteration,
-                            explained={observation},
+                            explained=set(gains[risk]),
                         )
                     )
+                working.prune_elements(affected)
+                unexplained -= affected
+            stage1.count("iterations", iteration)
+
+        # Stage 2: explain the residual observations via the change log.
+        if unexplained and oracle is not None:
+            with span("scout.stage2", residual=len(unexplained)):
+                for observation in sorted(unexplained, key=repr):
+                    failed_objects = model.failed_risks_for_element(observation)
+                    recent = oracle.recently_changed(failed_objects)
+                    for risk in sorted(recent, key=repr):
+                        if risk in hypothesis:
+                            entry = hypothesis.entry_for(risk)
+                            if entry is not None:
+                                entry.explained.add(observation)
+                            hypothesis.explained.add(observation)
+                            continue
+                        hypothesis.add(
+                            HypothesisEntry(
+                                risk=risk,
+                                reason=SelectionReason.CHANGE_LOG,
+                                hit_ratio=model.hit_ratio(risk),
+                                coverage_ratio=model.coverage_ratio(risk, signature),
+                                iteration=iteration,
+                                explained={observation},
+                            )
+                        )
 
         hypothesis.unexplained = signature - hypothesis.explained
         hypothesis.iterations = iteration

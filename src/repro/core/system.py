@@ -16,10 +16,12 @@ diagram shows:
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Literal, Optional, Sequence, Set
 
 from ..controller.controller import Controller
+from ..obs import TraceCollector, activated, span
 from ..parallel.engine import plan_for_report
 from ..parallel.shards import ShardPlan, clamp_workers
 from ..policy.graph import PolicyIndex
@@ -152,6 +154,7 @@ class ScoutSystem:
         parallel: bool = False,
         max_workers: Optional[int] = None,
         executor=None,
+        trace: Optional[TraceCollector] = None,
     ) -> EquivalenceReport:
         """Compare desired (L) and deployed (T) rules across the fabric.
 
@@ -160,18 +163,31 @@ class ScoutSystem:
         ``max_workers`` on large fabrics, the deterministic in-process
         fallback on small ones.  The report is identical either way; only
         the wall-clock differs.
+
+        ``trace`` activates the given :class:`~repro.obs.TraceCollector`
+        for the duration of the sweep; the collector is also attached to
+        the returned report as ``report.trace``.
         """
-        logical = self.controller.logical_rules(index=index)
-        deployed = self.controller.collect_deployed_rules()
-        if parallel or executor is not None:
-            switches = [
-                (uid, logical.get(uid, ()), deployed.get(uid, ()))
-                for uid in sorted(set(logical) | set(deployed))
-            ]
-            return self.checker.check_many(
-                switches, executor=executor, max_workers=max_workers
-            )
-        return self.checker.check_network(logical, deployed)
+        scope = activated(trace) if trace is not None else contextlib.nullcontext()
+        with scope:
+            with span("check.compile_logical"):
+                logical = self.controller.logical_rules(index=index)
+            with span("check.collect_deployed"):
+                deployed = self.controller.collect_deployed_rules()
+            if parallel or executor is not None:
+                switches = [
+                    (uid, logical.get(uid, ()), deployed.get(uid, ()))
+                    for uid in sorted(set(logical) | set(deployed))
+                ]
+                report = self.checker.check_many(
+                    switches, executor=executor, max_workers=max_workers
+                )
+            else:
+                with span("check.network", switches=len(set(logical) | set(deployed))):
+                    report = self.checker.check_network(logical, deployed)
+        if trace is not None:
+            report.trace = trace
+        return report
 
     # ------------------------------------------------------------------ #
     # Step 2: fault localization
@@ -184,6 +200,7 @@ class ScoutSystem:
         parallel: bool = False,
         max_workers: Optional[int] = None,
         shard_plan: Optional[ShardPlan] = None,
+        trace: Optional[TraceCollector] = None,
     ) -> ScoutReport:
         """Run the full pipeline and return a :class:`ScoutReport`.
 
@@ -192,56 +209,69 @@ class ScoutSystem:
         shard batch by shard batch (along ``shard_plan``, or a plan derived
         from the report): SCOUT itself consumes the merged observations
         unchanged, so the hypothesis is identical to a serial run.
+
+        ``trace`` activates the collector for the whole pipeline; it is
+        attached to the returned report as ``report.trace``.
         """
-        index = self.controller.build_index()
-        equivalence = report or self.check(
-            index=index, parallel=parallel, max_workers=max_workers
-        )
-        if shard_plan is None and parallel:
-            shard_plan = plan_for_report(
-                equivalence,
-                clamp_workers(max_workers, total_items=len(equivalence.results)),
+        scope_cm = activated(trace) if trace is not None else contextlib.nullcontext()
+        with scope_cm:
+            with span("scout.build_index"):
+                index = self.controller.build_index()
+            equivalence = report or self.check(
+                index=index, parallel=parallel, max_workers=max_workers
             )
-        missing_by_switch = equivalence.missing_rules()
-
-        risk_models: Dict[str, RiskModel] = {}
-        per_switch: Dict[str, Hypothesis] = {}
-
-        if scope == "switch":
-            merged = Hypothesis(algorithm=self.localizer.name)
-            for switch_uid, missing in sorted(missing_by_switch.items()):
-                model = build_switch_risk_model(index, switch_uid)
-                augment_switch_model(model, missing)
-                risk_models[switch_uid] = model
-                hypothesis = self.localizer.localize(model)
-                per_switch[switch_uid] = hypothesis
-                merged = merged.merge(hypothesis)
-            hypothesis = merged
-        else:
-            model = build_controller_risk_model(
-                self.controller.policy,
-                index=index,
-                include_switch_risks=self.include_switch_risks,
-            )
-            if shard_plan is not None:
-                augment_controller_model_sharded(
-                    model,
-                    missing_by_switch,
-                    shard_plan,
-                    include_switch_risks=self.include_switch_risks,
+            if shard_plan is None and parallel:
+                shard_plan = plan_for_report(
+                    equivalence,
+                    clamp_workers(max_workers, total_items=len(equivalence.results)),
                 )
-            else:
-                augment_controller_model(
-                    model, missing_by_switch, include_switch_risks=self.include_switch_risks
-                )
-            risk_models["controller"] = model
-            hypothesis = self.localizer.localize(model)
+            missing_by_switch = equivalence.missing_rules()
 
-        correlation = None
-        if correlate and hypothesis.objects():
-            correlation = self._correlate(hypothesis, missing_by_switch)
+            risk_models: Dict[str, RiskModel] = {}
+            per_switch: Dict[str, Hypothesis] = {}
 
-        return ScoutReport(
+            with span("scout.risk_model", scope=scope) as risk_span:
+                if scope == "switch":
+                    merged = Hypothesis(algorithm=self.localizer.name)
+                    for switch_uid, missing in sorted(missing_by_switch.items()):
+                        model = build_switch_risk_model(index, switch_uid)
+                        augment_switch_model(model, missing)
+                        risk_models[switch_uid] = model
+                        with span("scout.localize", switch=switch_uid):
+                            hypothesis = self.localizer.localize(model)
+                        per_switch[switch_uid] = hypothesis
+                        merged = merged.merge(hypothesis)
+                    hypothesis = merged
+                else:
+                    model = build_controller_risk_model(
+                        self.controller.policy,
+                        index=index,
+                        include_switch_risks=self.include_switch_risks,
+                    )
+                    if shard_plan is not None:
+                        augment_controller_model_sharded(
+                            model,
+                            missing_by_switch,
+                            shard_plan,
+                            include_switch_risks=self.include_switch_risks,
+                        )
+                    else:
+                        augment_controller_model(
+                            model,
+                            missing_by_switch,
+                            include_switch_risks=self.include_switch_risks,
+                        )
+                    risk_models["controller"] = model
+                    risk_span.count("observations", len(missing_by_switch))
+                    with span("scout.localize", scope=scope):
+                        hypothesis = self.localizer.localize(model)
+
+            correlation = None
+            if correlate and hypothesis.objects():
+                with span("scout.correlate"):
+                    correlation = self._correlate(hypothesis, missing_by_switch)
+
+        scout_report = ScoutReport(
             scope=scope,
             equivalence=equivalence,
             hypothesis=hypothesis,
@@ -249,6 +279,9 @@ class ScoutSystem:
             risk_models=risk_models,
             correlation=correlation,
         )
+        if trace is not None:
+            scout_report.trace = trace
+        return scout_report
 
     # ------------------------------------------------------------------ #
     # Step 3: event correlation

@@ -1,0 +1,61 @@
+"""Dependency-free tracing & profiling for the reproduction.
+
+Quick start::
+
+    from repro.obs import TraceCollector, activated, span
+
+    collector = TraceCollector()
+    with activated(collector):
+        with span("my.stage", shape="demo") as s:
+            s.count("items", 3)
+            ...
+
+    from repro.obs import attribution, format_attribution
+    print(format_attribution(attribution(collector.spans())))
+
+Instrumented code calls :func:`span` unconditionally; when no collector is
+active the call returns a shared no-op object, so tracing costs almost
+nothing when disabled.
+"""
+
+from .export import chrome_trace, read_jsonl, span_dicts, write_chrome, write_jsonl
+from .report import (
+    StageStat,
+    attribution,
+    format_attribution,
+    format_stage_breakdown,
+    parallel_stage_breakdown,
+)
+from .trace import (
+    NOOP_SPAN,
+    Span,
+    TraceCollector,
+    activated,
+    current,
+    install,
+    span,
+    traced,
+    uninstall,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "StageStat",
+    "TraceCollector",
+    "activated",
+    "attribution",
+    "chrome_trace",
+    "current",
+    "format_attribution",
+    "format_stage_breakdown",
+    "install",
+    "parallel_stage_breakdown",
+    "read_jsonl",
+    "span",
+    "span_dicts",
+    "traced",
+    "uninstall",
+    "write_chrome",
+    "write_jsonl",
+]

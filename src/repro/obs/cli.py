@@ -1,0 +1,157 @@
+"""``repro-trace``: run a traced workload and print an attribution report.
+
+Two subcommands:
+
+* ``check`` — deploy a profile, run the SCOUT pipeline under a collector
+  and print the stage → total/self time table.  ``--chrome``/``--jsonl``
+  additionally export the raw trace for ``chrome://tracing`` / Perfetto or
+  offline analysis.
+* ``parallel`` — the ROADMAP-item-1 measurement from the command line:
+  time a serial full check, then a traced parallel check, and print the
+  wall-clock decomposition (plan / pickle / worker spawn+IPC / in-worker
+  BDD build / check / serialize / merge) with its coverage of measured
+  wall time.  ``--json`` writes the same breakdown as machine-readable
+  JSON (the shape ``benchmarks/bench_parallel.py`` embeds in
+  ``BENCH_parallel.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Optional, Sequence
+
+from ..controller.controller import Controller
+from ..core.system import ScoutSystem
+from ..workloads.generator import generate_workload
+from ..workloads.profiles import profile_names, resolve_profile
+from .export import write_chrome, write_jsonl
+from .report import (
+    attribution,
+    format_attribution,
+    format_stage_breakdown,
+    parallel_stage_breakdown,
+)
+from .trace import TraceCollector
+
+__all__ = ["main"]
+
+
+def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        default="small",
+        help=f"workload profile to deploy ({', '.join(profile_names())})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the profile's RNG seed"
+    )
+
+
+def _deploy(profile_name: str, seed: Optional[int]) -> ScoutSystem:
+    profile = resolve_profile(profile_name, seed=seed)
+    workload = generate_workload(profile)
+    controller = Controller(workload.policy, workload.fabric)
+    controller.deploy()
+    return ScoutSystem(controller)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    system = _deploy(args.profile, args.seed)
+    collector = TraceCollector()
+    start = time.perf_counter()
+    report = system.localize(
+        parallel=args.parallel, max_workers=args.workers, trace=collector
+    )
+    wall = time.perf_counter() - start
+    spans = collector.spans()
+    print(
+        f"[repro-trace] profile {args.profile!r}: {len(spans)} span(s) "
+        f"in {wall:.3f}s, consistent={report.consistent}"
+    )
+    print(format_attribution(attribution(spans), wall_seconds=wall))
+    if args.jsonl:
+        count = write_jsonl(spans, args.jsonl)
+        print(f"[repro-trace] wrote {count} span(s) to {args.jsonl}")
+    if args.chrome:
+        count = write_chrome(spans, args.chrome)
+        print(
+            f"[repro-trace] wrote {count} event(s) to {args.chrome} "
+            "(open in chrome://tracing or https://ui.perfetto.dev)"
+        )
+    return 0
+
+
+def _cmd_parallel(args: argparse.Namespace) -> int:
+    system = _deploy(args.profile, args.seed)
+
+    serial_start = time.perf_counter()
+    serial_report = system.check()
+    serial_wall = time.perf_counter() - serial_start
+
+    collector = TraceCollector()
+    parallel_start = time.perf_counter()
+    parallel_report = system.check(
+        parallel=True, max_workers=args.workers, trace=collector
+    )
+    parallel_wall = time.perf_counter() - parallel_start
+
+    identical = parallel_report.fingerprint() == serial_report.fingerprint()
+    breakdown = parallel_stage_breakdown(
+        collector.spans(), parallel_wall, args.workers
+    )
+    breakdown["serial_seconds"] = serial_wall
+    breakdown["speedup"] = serial_wall / parallel_wall if parallel_wall > 0 else 0.0
+    breakdown["reports_identical"] = identical
+
+    print(
+        f"[repro-trace] profile {args.profile!r}: serial {serial_wall:.3f}s, "
+        f"parallel {parallel_wall:.3f}s ({breakdown['speedup']:.2f}x), "
+        f"reports identical: {identical}"
+    )
+    print(format_stage_breakdown(breakdown))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(breakdown, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[repro-trace] wrote breakdown to {args.json}")
+    return 0 if identical else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Run a traced workload and print a perf-attribution report.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser(
+        "check", help="trace the SCOUT pipeline and print stage attribution"
+    )
+    _add_profile_arguments(check)
+    check.add_argument(
+        "--parallel",
+        action="store_true",
+        help="run the equivalence sweep through the sharded parallel engine",
+    )
+    check.add_argument("--workers", type=int, default=None, help="parallel workers")
+    check.add_argument("--chrome", default=None, help="write a Chrome trace JSON here")
+    check.add_argument("--jsonl", default=None, help="write raw spans as JSONL here")
+    check.set_defaults(func=_cmd_check)
+
+    par = commands.add_parser(
+        "parallel",
+        help="decompose one parallel check's wall time into named stages",
+    )
+    _add_profile_arguments(par)
+    par.add_argument("--workers", type=int, default=4, help="parallel workers")
+    par.add_argument("--json", default=None, help="write the breakdown JSON here")
+    par.set_defaults(func=_cmd_parallel)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,221 @@
+"""Turn raw spans into attribution reports.
+
+Two consumers:
+
+* :func:`attribution` / :func:`format_attribution` — the generic "where did
+  the time go" table printed by ``repro-trace``: per stage name, how many
+  spans, total (inclusive) seconds, and self (exclusive) seconds.
+* :func:`parallel_stage_breakdown` — the ROADMAP-item-1 measurement: a
+  decomposition of one parallel ``ScoutSystem.check`` wall-clock into named
+  stages (plan / pickle / worker spawn+IPC / in-worker unpickle, BDD build,
+  check, serialize / merge) that should tile the measured wall time.
+  Worker-side busy time is normalised by the number of concurrently busy
+  workers so the stages are wall-clock-comparable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
+
+from .export import SpanLike, span_dicts
+
+__all__ = [
+    "StageStat",
+    "attribution",
+    "format_attribution",
+    "format_stage_breakdown",
+    "parallel_stage_breakdown",
+]
+
+
+@dataclass
+class StageStat:
+    """Aggregated timing for all spans sharing one name."""
+
+    name: str
+    count: int = 0
+    total_seconds: float = 0.0
+    self_seconds: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "self_seconds": self.self_seconds,
+        }
+        if self.counters:
+            payload["counters"] = dict(self.counters)
+        return payload
+
+
+def _durations(payload: Dict[str, Any]) -> float:
+    return max(0.0, float(payload["end"]) - float(payload["start"]))
+
+
+def attribution(spans: Iterable[SpanLike]) -> List[StageStat]:
+    """Aggregate spans by name into total/self time, sorted by total desc.
+
+    Self time is a span's duration minus the duration of its direct
+    children, clamped at zero (adopted worker spans run concurrently, so a
+    parent's children can legitimately sum past its own duration).
+    """
+    payloads = span_dicts(spans)
+    child_time: Dict[int, float] = defaultdict(float)
+    for payload in payloads:
+        parent_id = payload.get("parent_id")
+        if parent_id is not None:
+            child_time[parent_id] += _durations(payload)
+
+    stats: Dict[str, StageStat] = {}
+    for payload in payloads:
+        stat = stats.get(payload["name"])
+        if stat is None:
+            stat = stats[payload["name"]] = StageStat(payload["name"])
+        duration = _durations(payload)
+        stat.count += 1
+        stat.total_seconds += duration
+        stat.self_seconds += max(
+            0.0, duration - child_time.get(payload["span_id"], 0.0)
+        )
+        for key, value in payload.get("counters", {}).items():
+            stat.counters[key] = stat.counters.get(key, 0.0) + value
+    return sorted(stats.values(), key=lambda s: (-s.total_seconds, s.name))
+
+
+def format_attribution(
+    stats: Sequence[StageStat], wall_seconds: Optional[float] = None
+) -> str:
+    """Render an attribution table as fixed-width text."""
+    name_width = max([len("stage")] + [len(stat.name) for stat in stats])
+    header = f"{'stage':<{name_width}}  {'count':>7}  {'total s':>10}  {'self s':>10}"
+    if wall_seconds:
+        header += f"  {'% wall':>7}"
+    lines = [header, "-" * len(header)]
+    for stat in stats:
+        line = (
+            f"{stat.name:<{name_width}}  {stat.count:>7}  "
+            f"{stat.total_seconds:>10.4f}  {stat.self_seconds:>10.4f}"
+        )
+        if wall_seconds:
+            line += f"  {100.0 * stat.total_seconds / wall_seconds:>6.1f}%"
+        lines.append(line)
+        if stat.counters:
+            rendered = ", ".join(
+                f"{key}={int(value) if float(value).is_integer() else value}"
+                for key, value in sorted(stat.counters.items())
+            )
+            lines.append(f"{'':<{name_width}}    [{rendered}]")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Parallel wall-clock decomposition
+# ---------------------------------------------------------------------- #
+def _descendant_ids(payloads: List[Dict[str, Any]], root_names: Set[str]) -> Set[int]:
+    """Span ids that are (transitive) descendants of any span named in roots."""
+    children: Dict[Optional[int], List[int]] = defaultdict(list)
+    for payload in payloads:
+        children[payload.get("parent_id")].append(payload["span_id"])
+    stack = [p["span_id"] for p in payloads if p["name"] in root_names]
+    inside: Set[int] = set()
+    while stack:
+        span_id = stack.pop()
+        for child_id in children.get(span_id, ()):
+            if child_id not in inside:
+                inside.add(child_id)
+                stack.append(child_id)
+    return inside
+
+
+def parallel_stage_breakdown(
+    spans: Iterable[SpanLike],
+    wall_seconds: float,
+    workers: int,
+) -> Dict[str, Any]:
+    """Decompose a traced parallel check into wall-clock-comparable stages.
+
+    Serial stages (compile, collect, plan, pickle, merge) contribute their
+    duration directly.  Worker-side stages ran on up to ``workers``
+    processes concurrently, so their busy time is divided by the number of
+    workers actually used before being compared against wall clock.  The
+    ``worker_spawn_and_ipc`` stage is the dispatch window not accounted for
+    by normalised worker busy time: pool construction, process spawn,
+    argument pickling transit, and result transit.
+    """
+    payloads = span_dicts(spans)
+    totals: Dict[str, float] = defaultdict(float)
+    counts: Dict[str, int] = defaultdict(int)
+    for payload in payloads:
+        totals[payload["name"]] += _durations(payload)
+        counts[payload["name"]] += 1
+
+    shard_count = counts.get("worker.shard", 0)
+    workers_used = max(1, min(workers, shard_count))
+    worker_busy = totals.get("worker.shard", 0.0)
+
+    in_worker = _descendant_ids(payloads, {"worker.check"})
+    bdd_build_in_worker = sum(
+        _durations(p)
+        for p in payloads
+        if p["name"] == "verify.bdd.build" and p["span_id"] in in_worker
+    )
+
+    def norm(seconds: float) -> float:
+        return seconds / workers_used
+
+    dispatch = totals.get("parallel.dispatch", 0.0)
+    stages = {
+        "compile_logical": totals.get("check.compile_logical", 0.0),
+        "collect_deployed": totals.get("check.collect_deployed", 0.0),
+        "plan": totals.get("parallel.plan", 0.0),
+        "pickle": totals.get("parallel.build_tasks", 0.0),
+        "worker_spawn_and_ipc": totals.get("parallel.pool", 0.0)
+        + max(0.0, dispatch - norm(worker_busy)),
+        "worker_unpickle": norm(totals.get("worker.unpickle", 0.0)),
+        "worker_bdd_build": norm(bdd_build_in_worker),
+        "worker_check": norm(
+            max(0.0, totals.get("worker.check", 0.0) - bdd_build_in_worker)
+        ),
+        "worker_serialize": norm(totals.get("worker.serialize", 0.0)),
+        "merge": totals.get("parallel.merge", 0.0),
+    }
+    accounted = sum(stages.values())
+    coverage = accounted / wall_seconds if wall_seconds > 0 else 0.0
+    dominant = max(stages, key=lambda name: stages[name]) if stages else ""
+    return {
+        "wall_seconds": wall_seconds,
+        "workers": workers,
+        "workers_used": workers_used,
+        "shards": shard_count,
+        "stages": stages,
+        "accounted_seconds": accounted,
+        "coverage": coverage,
+        "dominant_stage": dominant,
+    }
+
+
+def format_stage_breakdown(breakdown: Dict[str, Any]) -> str:
+    """Render a :func:`parallel_stage_breakdown` result as a text table."""
+    wall = breakdown["wall_seconds"]
+    stages: Dict[str, float] = breakdown["stages"]
+    name_width = max(len("stage"), max(len(name) for name in stages))
+    header = f"{'stage':<{name_width}}  {'seconds':>10}  {'% wall':>7}"
+    lines = [
+        f"parallel wall: {wall:.4f}s  workers: {breakdown['workers']}"
+        f" (used {breakdown['workers_used']}, {breakdown['shards']} shards)",
+        header,
+        "-" * len(header),
+    ]
+    for name, seconds in sorted(stages.items(), key=lambda item: -item[1]):
+        share = 100.0 * seconds / wall if wall > 0 else 0.0
+        lines.append(f"{name:<{name_width}}  {seconds:>10.4f}  {share:>6.1f}%")
+    lines.append(
+        f"accounted: {breakdown['accounted_seconds']:.4f}s"
+        f" ({100.0 * breakdown['coverage']:.1f}% of wall)"
+        f"  dominant: {breakdown['dominant_stage']}"
+    )
+    return "\n".join(lines)

@@ -36,6 +36,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..controller.compiler import compile_pair_rules
 from ..controller.controller import Controller
+from ..obs import span
 from ..policy.graph import PolicyIndex
 from ..policy.objects import EpgPair, ObjectType
 from ..protocol import Operation
@@ -224,6 +225,10 @@ class IncrementalChecker:
     # ------------------------------------------------------------------ #
     def bootstrap(self) -> EquivalenceReport:
         """Full sweep establishing the baseline; clears all dirt."""
+        with span("delta.bootstrap"):
+            return self._bootstrap()
+
+    def _bootstrap(self) -> EquivalenceReport:
         self._index = self.controller.build_index()
         self._index_dirty = False
         self._pending_objects.clear()
@@ -290,38 +295,48 @@ class IncrementalChecker:
             return dict(report.results)
         if switch_uids:
             self._dirty.update(switch_uids)
-        if self._index_dirty:
-            self._rebuild_index()
-        for pair in sorted(self._dirty_pairs):
-            self._apply_pair(pair)
-        self._dirty_pairs.clear()
-        refreshed: Dict[str, SwitchCheckResult] = {}
-        pending: list = []
-        use_batch = executor is not None or (max_workers is not None and max_workers != 1)
-        for switch_uid in sorted(self._dirty):
-            if (
-                switch_uid not in self.controller.fabric.switches
-                and switch_uid not in self._switch_rules
-            ):
-                # Neither an L nor a T side exists (a typo'd or decommissioned
-                # switch): fabricating a clean verdict would mask the mistake,
-                # and a serial check_network would emit nothing for it either.
-                self._results.pop(switch_uid, None)
-                self._digests.pop(switch_uid, None)
-                continue
-            if not use_batch:
-                refreshed[switch_uid] = self._check_one(switch_uid)
-                continue
-            logical_map, deployed, digest = self._digest_one(switch_uid)
-            if digest.clean:
-                refreshed[switch_uid] = self._clean_result(
-                    switch_uid, logical_map, deployed
-                )
-            else:
-                pending.append((switch_uid, list(logical_map.values()), deployed))
-        if pending:
-            refreshed.update(self._check_batch(pending, executor, max_workers))
-        self._dirty.clear()
+        digests_before = self.digest_short_circuits
+        checks_before = self.switch_checks
+        with span("delta.refresh", dirty=len(self._dirty)) as refresh_span:
+            if self._index_dirty:
+                self._rebuild_index()
+            with span("delta.recompile_pairs", pairs=len(self._dirty_pairs)):
+                for pair in sorted(self._dirty_pairs):
+                    self._apply_pair(pair)
+            self._dirty_pairs.clear()
+            refreshed: Dict[str, SwitchCheckResult] = {}
+            pending: list = []
+            use_batch = executor is not None or (
+                max_workers is not None and max_workers != 1
+            )
+            for switch_uid in sorted(self._dirty):
+                if (
+                    switch_uid not in self.controller.fabric.switches
+                    and switch_uid not in self._switch_rules
+                ):
+                    # Neither an L nor a T side exists (a typo'd or decommissioned
+                    # switch): fabricating a clean verdict would mask the mistake,
+                    # and a serial check_network would emit nothing for it either.
+                    self._results.pop(switch_uid, None)
+                    self._digests.pop(switch_uid, None)
+                    continue
+                if not use_batch:
+                    refreshed[switch_uid] = self._check_one(switch_uid)
+                    continue
+                logical_map, deployed, digest = self._digest_one(switch_uid)
+                if digest.clean:
+                    refreshed[switch_uid] = self._clean_result(
+                        switch_uid, logical_map, deployed
+                    )
+                else:
+                    pending.append((switch_uid, list(logical_map.values()), deployed))
+            if pending:
+                refreshed.update(self._check_batch(pending, executor, max_workers))
+            self._dirty.clear()
+            refresh_span.count(
+                "digest_short_circuits", self.digest_short_circuits - digests_before
+            )
+            refresh_span.count("switch_checks", self.switch_checks - checks_before)
         return refreshed
 
     def _digest_one(self, switch_uid: str):

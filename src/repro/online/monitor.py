@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Set
 
 from ..controller.controller import Controller
 from ..core.hypothesis import Hypothesis
+from ..obs import span
 from ..core.scout import RecentChangeOracle, ScoutLocalizer
 from ..risk.augment import augment_switch_model
 from ..risk.switch_model import build_switch_risk_model
@@ -216,13 +217,15 @@ class NetworkMonitor:
         events = self._pending
         self._pending = []
         self._first_event_at = None
-        fault_codes: Dict[str, Set[str]] = {}
-        for event in events:
-            if isinstance(event, DeviceFault):
-                fault_codes.setdefault(event.device_uid, set()).add(event.code.value)
-        refreshed = self.delta.refresh()
-        result = MonitorPass(triggered_at=now, events=len(events))
-        self._apply_results(refreshed, result, fault_codes)
+        with span("monitor.poll", events=len(events)) as poll_span:
+            fault_codes: Dict[str, Set[str]] = {}
+            for event in events:
+                if isinstance(event, DeviceFault):
+                    fault_codes.setdefault(event.device_uid, set()).add(event.code.value)
+            refreshed = self.delta.refresh()
+            result = MonitorPass(triggered_at=now, events=len(events))
+            self._apply_results(refreshed, result, fault_codes)
+            poll_span.count("rechecked", len(result.switches_rechecked))
         self.passes.append(result)
         return result
 
@@ -274,9 +277,10 @@ class NetworkMonitor:
 
     def _localize_switch(self, switch_uid: str, result: SwitchCheckResult) -> Hypothesis:
         """Scoped SCOUT: one switch risk model, augmented with its misses."""
-        model = build_switch_risk_model(self.delta.index, switch_uid)
-        augment_switch_model(model, result.missing_rules)
-        return self.localizer.localize(model)
+        with span("monitor.localize", switch=switch_uid):
+            model = build_switch_risk_model(self.delta.index, switch_uid)
+            augment_switch_model(model, result.missing_rules)
+            return self.localizer.localize(model)
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -19,6 +19,7 @@ The entry points most callers want live on the existing classes:
 """
 
 from .engine import (
+    ShardResult,
     ShardTask,
     SwitchWorkOutcome,
     SwitchWorkUnit,
@@ -32,6 +33,7 @@ from .shards import ShardPlan, clamp_workers, plan_shards
 __all__ = [
     "SerialExecutor",
     "ShardPlan",
+    "ShardResult",
     "ShardTask",
     "SwitchWorkOutcome",
     "SwitchWorkUnit",

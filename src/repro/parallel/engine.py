@@ -23,9 +23,10 @@ whichever process evaluated the BDD.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs import TraceCollector, activated, current, span
 from ..rules import MatchKey, TcamRule
 from ..verify.checker import EquivalenceChecker, EquivalenceReport, SwitchCheckResult
 from ..verify.encoding import RuleSpace
@@ -33,6 +34,7 @@ from .executor import resolve_executor
 from .shards import ShardPlan, clamp_workers, plan_shards
 
 __all__ = [
+    "ShardResult",
     "ShardTask",
     "SwitchWorkUnit",
     "SwitchWorkOutcome",
@@ -79,6 +81,22 @@ class ShardTask:
     engine: str
     bdd_limit: int
     space_widths: Tuple[int, int, int, int]
+    #: When true the worker records spans for its own stages (unpickle,
+    #: check, serialize) and ships them back inside the ShardResult.
+    trace: bool = False
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """What a worker sends back: outcomes plus (optionally) its trace.
+
+    ``spans`` are plain dicts (:meth:`repro.obs.Span.to_dict`) so the
+    payload pickles without dragging collector state across the process
+    boundary; the parent re-attaches them with ``TraceCollector.adopt``.
+    """
+
+    outcomes: Tuple[SwitchWorkOutcome, ...]
+    spans: Tuple[Dict[str, Any], ...] = field(default_factory=tuple)
 
 
 def _work_unit(
@@ -105,35 +123,53 @@ def _rule_from_key(key: MatchKey) -> TcamRule:
     )
 
 
-def run_shard(task: ShardTask) -> List[SwitchWorkOutcome]:
+def run_shard(task: ShardTask) -> ShardResult:
     """Worker entry point: check every switch of one shard.
 
     Must stay a module-level function so both ``fork`` and ``spawn`` start
-    methods can import it.
+    methods can import it.  When ``task.trace`` is set, the worker opens a
+    local collector and times its own stages — rule reconstruction from
+    match keys ("unpickle"), the checks themselves, and outcome
+    serialization — so the parent can attribute in-worker cost without any
+    shared state.
     """
     space = RuleSpace(*task.space_widths)
     checker = EquivalenceChecker(
         rule_space=space, engine=task.engine, bdd_limit=task.bdd_limit
     )
-    outcomes: List[SwitchWorkOutcome] = []
-    for unit in task.units:
-        result = checker.check_switch(
-            unit.switch_uid,
-            [_rule_from_key(key) for key in unit.logical],
-            [_rule_from_key(key) for key in unit.deployed],
-        )
-        outcomes.append(
-            SwitchWorkOutcome(
-                switch_uid=unit.switch_uid,
-                equivalent=result.equivalent,
-                missing=tuple(rule.match_key() for rule in result.missing_rules),
-                extra=tuple(rule.match_key() for rule in result.extra_rules),
-                logical_count=result.logical_count,
-                deployed_count=result.deployed_count,
-                engine=result.engine,
-            )
-        )
-    return outcomes
+    collector = TraceCollector(enabled=task.trace)
+    with activated(collector):
+        with span("worker.shard", switches=len(task.units)):
+            with span("worker.unpickle"):
+                hydrated = [
+                    (
+                        unit.switch_uid,
+                        [_rule_from_key(key) for key in unit.logical],
+                        [_rule_from_key(key) for key in unit.deployed],
+                    )
+                    for unit in task.units
+                ]
+            results = []
+            with span("worker.check"):
+                for switch_uid, logical, deployed in hydrated:
+                    results.append(checker.check_switch(switch_uid, logical, deployed))
+            with span("worker.serialize"):
+                outcomes = tuple(
+                    SwitchWorkOutcome(
+                        switch_uid=result.switch_uid,
+                        equivalent=result.equivalent,
+                        missing=tuple(
+                            rule.match_key() for rule in result.missing_rules
+                        ),
+                        extra=tuple(rule.match_key() for rule in result.extra_rules),
+                        logical_count=result.logical_count,
+                        deployed_count=result.deployed_count,
+                        engine=result.engine,
+                    )
+                    for result in results
+                )
+    spans = tuple(recorded.to_dict() for recorded in collector.spans())
+    return ShardResult(outcomes=outcomes, spans=spans)
 
 
 def _rehydrate(
@@ -213,49 +249,66 @@ def check_switches(
     — byte-identical to :meth:`EquivalenceChecker.check_network` over the
     same snapshots, whatever the executor or shard plan.
     """
+    collector = current()
+    tracing = collector is not None and collector.enabled
+
     triples: Dict[str, Tuple[Sequence[TcamRule], Sequence[TcamRule]]] = {}
     for switch_uid, logical, deployed in switches:
         triples[switch_uid] = (list(logical), list(deployed))
 
-    if plan is None:
-        weights = {
-            uid: len(logical) + len(deployed)
-            for uid, (logical, deployed) in triples.items()
-        }
-        num_shards = clamp_workers(max_workers, total_items=len(triples))
-        plan = plan_shards(triples, num_shards, weights=weights)
+    with span("parallel.plan", switches=len(triples)):
+        if plan is None:
+            weights = {
+                uid: len(logical) + len(deployed)
+                for uid, (logical, deployed) in triples.items()
+            }
+            num_shards = clamp_workers(max_workers, total_items=len(triples))
+            plan = plan_shards(triples, num_shards, weights=weights)
 
-    tasks = []
-    for shard in plan.group(triples):
-        units = tuple(
-            _work_unit(uid, triples[uid][0], triples[uid][1])
-            for uid in shard
-            if uid in triples
-        )
-        if units:
-            tasks.append(
-                ShardTask(
-                    units=units,
-                    engine=checker.engine,
-                    bdd_limit=checker.bdd_limit,
-                    space_widths=_space_widths(checker.rule_space),
-                )
+    with span("parallel.build_tasks") as build_span:
+        tasks = []
+        for shard in plan.group(triples):
+            units = tuple(
+                _work_unit(uid, triples[uid][0], triples[uid][1])
+                for uid in shard
+                if uid in triples
             )
+            if units:
+                tasks.append(
+                    ShardTask(
+                        units=units,
+                        engine=checker.engine,
+                        bdd_limit=checker.bdd_limit,
+                        space_widths=_space_widths(checker.rule_space),
+                        trace=tracing,
+                    )
+                )
+        build_span.count("shards", len(tasks))
 
-    pool, owned = resolve_executor(
-        max_workers, num_tasks=len(triples), executor=executor
-    )
+    with span("parallel.pool"):
+        pool, owned = resolve_executor(
+            max_workers, num_tasks=len(triples), executor=executor
+        )
     try:
         outcomes: Dict[str, SwitchWorkOutcome] = {}
-        for shard_outcomes in pool.map(run_shard, tasks):
-            for outcome in shard_outcomes:
-                outcomes[outcome.switch_uid] = outcome
+        with span("parallel.dispatch", shards=len(tasks)) as dispatch_span:
+            for shard_result in pool.map(run_shard, tasks):
+                for outcome in shard_result.outcomes:
+                    outcomes[outcome.switch_uid] = outcome
+                if tracing and shard_result.spans:
+                    # run_shard records onto its own local collector (even
+                    # when executed in-process), so the shipped spans are
+                    # the only copy — adopt them under the dispatch span.
+                    collector.adopt(shard_result.spans, parent=dispatch_span)
     finally:
         if owned:
             pool.shutdown()
 
-    report = EquivalenceReport()
-    for switch_uid in sorted(triples):
-        logical, deployed = triples[switch_uid]
-        report.results[switch_uid] = _rehydrate(outcomes[switch_uid], logical, deployed)
+    with span("parallel.merge"):
+        report = EquivalenceReport()
+        for switch_uid in sorted(triples):
+            logical, deployed = triples[switch_uid]
+            report.results[switch_uid] = _rehydrate(
+                outcomes[switch_uid], logical, deployed
+            )
     return report

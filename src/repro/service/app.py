@@ -28,6 +28,7 @@ GET     ``/monitor/status``                monitor stats + pending events
 POST    ``/monitor/start``                 attach + baseline (409 when running)
 POST    ``/monitor/stop``                  detach (409 when stopped)
 GET     ``/metrics``                       Prometheus text exposition
+GET     ``/traces``                        stage attribution + recent spans
 ======  =================================  =====================================
 
 The service is transport-independent (see :mod:`.http`): the same instance
@@ -44,6 +45,7 @@ from ..campaign.spec import CampaignSpec
 from ..churn.driver import ChurnDriver
 from ..controller.controller import Controller
 from ..core.system import ScoutSystem
+from ..obs import Span, TraceCollector, activated, attribution
 from ..online.incidents import IncidentStatus
 from ..online.monitor import NetworkMonitor
 from ..workloads.churn_profiles import churn_profile_for
@@ -104,6 +106,7 @@ class ScoutService:
         monitor: Optional[NetworkMonitor] = None,
         system: Optional[ScoutSystem] = None,
         auto_start: bool = True,
+        tracing: bool = True,
     ) -> None:
         self.controller = controller
         self.name = name
@@ -111,6 +114,12 @@ class ScoutService:
         self.monitor = monitor or NetworkMonitor(controller)
         self.store = self.monitor.store
         self.metrics = MetricsRegistry()
+        # One long-lived collector for the whole service: every request and
+        # every job runs under it, and each finished span feeds the
+        # ``repro_stage_seconds`` summary so /metrics carries per-stage
+        # latency quantiles even after the span buffer rolls over.
+        self.tracer = TraceCollector(enabled=tracing, max_spans=20_000)
+        self.tracer.add_sink(self._record_stage)
         self.queue = AuditQueue(self._run_audit, sync=sync_audits, metrics=self.metrics)
         # Campaigns execute inline by default: the route is a synchronous
         # sweep gate (a probe POSTs a small grid and reads the fingerprint
@@ -162,13 +171,23 @@ class ScoutService:
     # ------------------------------------------------------------------ #
     def handle(self, request: Request) -> Response:
         """The single entry point both the WSGI app and the test client use."""
-        response = self.router.dispatch(request)
+        with activated(self.tracer):
+            response = self.router.dispatch(request)
         self.metrics.inc(
             "repro_http_requests_total",
             labels={"method": request.method.upper(), "status": str(response.status)},
             help="HTTP requests served, by method and response status.",
         )
         return response
+
+    def _record_stage(self, finished: Span) -> None:
+        """Span sink: every finished span becomes a stage-latency observation."""
+        self.metrics.observe(
+            "repro_stage_seconds",
+            finished.duration,
+            labels={"stage": finished.name},
+            help="Pipeline stage latency, by span name.",
+        )
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -193,6 +212,7 @@ class ScoutService:
         add("POST", "/monitor/start", self._post_monitor_start)
         add("POST", "/monitor/stop", self._post_monitor_stop)
         add("GET", "/metrics", self._get_metrics)
+        add("GET", "/traces", self._get_traces)
 
     def _register_gauges(self) -> None:
         gauge = self.metrics.gauge
@@ -239,13 +259,19 @@ class ScoutService:
     # Handlers: audits
     # ------------------------------------------------------------------ #
     def _run_audit(self, params: Dict) -> Dict:
-        """Execute one job: full SCOUT pipeline, serialized for the wire."""
-        report = self.system.localize(
-            scope=params.get("scope", "controller"),
-            correlate=params.get("correlate", True),
-            parallel=params.get("parallel", False),
-            max_workers=params.get("max_workers"),
-        )
+        """Execute one job: full SCOUT pipeline, serialized for the wire.
+
+        Jobs may run on the queue's worker thread, where ``handle``'s
+        collector activation does not reach — re-activate it here so job
+        spans land in the same trace as request spans.
+        """
+        with activated(self.tracer):
+            report = self.system.localize(
+                scope=params.get("scope", "controller"),
+                correlate=params.get("correlate", True),
+                parallel=params.get("parallel", False),
+                max_workers=params.get("max_workers"),
+            )
         payload = report.to_dict()
         # Duplicated at the top level so pollers don't have to dig for it.
         payload["fingerprint"] = report.equivalence.fingerprint()
@@ -298,7 +324,8 @@ class ScoutService:
     def _run_campaign(self, params: Dict) -> Dict:
         """Execute one campaign job: run the recorded spec, serialize the report."""
         spec = CampaignSpec.from_dict(params["spec"])
-        return run_campaign(spec).to_dict()
+        with activated(self.tracer):
+            return run_campaign(spec).to_dict()
 
     def _post_campaign(self, request: Request) -> Response:
         body = request.json_body()
@@ -364,7 +391,8 @@ class ScoutService:
             checkpoint_interval=params.get("checkpoint_interval"),
             strict=False,
         )
-        return driver.run().to_dict()
+        with activated(self.tracer):
+            return driver.run().to_dict()
 
     def _post_churn(self, request: Request) -> Response:
         body = request.json_body()
@@ -499,12 +527,38 @@ class ScoutService:
             self.metrics.render(), content_type=PROMETHEUS_CONTENT_TYPE
         )
 
+    # ------------------------------------------------------------------ #
+    # Handlers: traces
+    # ------------------------------------------------------------------ #
+    def _get_traces(self, request: Request) -> Dict:
+        """The service trace: per-stage attribution plus the last N spans.
+
+        ``?limit=`` caps the raw span tail (default 100, 0 for none); the
+        attribution table always aggregates over everything collected.
+        """
+        limit_raw = request.query.get("limit", "100")
+        try:
+            limit = int(limit_raw)
+        except (TypeError, ValueError):
+            raise BadRequest(f"limit must be an integer, got {limit_raw!r}") from None
+        if limit < 0:
+            raise BadRequest(f"limit must be >= 0, got {limit}")
+        spans = self.tracer.spans()
+        return {
+            "enabled": self.tracer.enabled,
+            "span_count": len(spans),
+            "dropped": self.tracer.dropped,
+            "attribution": [stat.to_dict() for stat in attribution(spans)],
+            "spans": [span.to_dict() for span in spans[-limit:]] if limit else [],
+        }
+
 
 def service_for_profile(
     name: str,
     seed: Optional[int] = None,
     sync_audits: bool = False,
     auto_start: bool = True,
+    tracing: bool = True,
 ) -> ScoutService:
     """Generate, deploy and wrap one named workload profile.
 
@@ -522,4 +576,5 @@ def service_for_profile(
         name=profile.name,
         sync_audits=sync_audits,
         auto_start=auto_start,
+        tracing=tracing,
     )

@@ -57,11 +57,19 @@ def main_service(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="self-check every core endpoint in-process and exit (no sockets)",
     )
+    parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable the service trace collector (GET /traces stays empty)",
+    )
     args = parser.parse_args(argv)
 
     try:
         service = service_for_profile(
-            args.profile, seed=args.seed, sync_audits=args.sync_audits or args.once
+            args.profile,
+            seed=args.seed,
+            sync_audits=args.sync_audits or args.once,
+            tracing=not args.no_trace,
         )
     except ValueError as exc:
         parser.error(str(exc))
@@ -131,6 +139,14 @@ def _self_check(service: ScoutService) -> int:
     check(
         "GET /metrics",
         metrics.status == 200 and "repro_http_requests_total" in metrics.text,
+    )
+    traces = client.get("/traces")
+    trace_body = traces.json() if traces.status == 200 else {}
+    check(
+        "GET /traces",
+        traces.status == 200
+        and (not service.tracer.enabled or trace_body.get("span_count", 0) > 0),
+        f"{trace_body.get('span_count', 0)} span(s)",
     )
     missing = client.get("/audits/AUD-9999")
     check(

@@ -4,24 +4,38 @@ Three instrument kinds cover what the service exposes on ``/metrics``:
 
 * **counters** — monotonically increasing, optionally labelled
   (``repro_http_requests_total{method="GET",status="200"}``);
-* **summaries** — observation streams rendered as ``_count`` / ``_sum``
-  pairs (audit latencies);
+* **summaries** — observation streams rendered as ``{quantile="..."}``
+  series plus ``_count`` / ``_sum`` pairs (audit latencies, per-stage
+  pipeline timings).  Summaries accept labels, so one metric name can
+  carry many series (``repro_stage_seconds{stage="check.switch"}``);
 * **gauges** — computed at render time from a callback, so values like
   "open incidents" always reflect the live store instead of a shadow
   counter that can drift.
 
+Quantiles are snapshots over a bounded sliding window of the most recent
+observations (``window`` per series, default 1024): exact for short-lived
+services, recency-weighted for long-running daemons, and O(window) memory
+either way.  ``_count`` and ``_sum`` remain exact over the series lifetime.
+
 The render output is the Prometheus text exposition format, which existing
-scrape pipelines ingest as-is; no client library is required.
+scrape pipelines ingest as-is; no client library is required.  Label values
+are escaped per the exposition spec (backslash, double quote, newline) and
+non-finite values render as ``+Inf`` / ``-Inf`` / ``NaN``.
 """
 
 from __future__ import annotations
 
+import math
 import threading
-from typing import Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["PROMETHEUS_CONTENT_TYPE", "MetricsRegistry"]
+__all__ = ["PROMETHEUS_CONTENT_TYPE", "SUMMARY_QUANTILES", "MetricsRegistry"]
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Quantiles every summary renders, as ``{quantile="..."}`` series.
+SUMMARY_QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99)
 
 #: Sorted ``(key, value)`` label pairs — the hashable identity of one series.
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -31,17 +45,53 @@ def _label_key(labels: Optional[Dict[str, str]]) -> LabelKey:
     return tuple(sorted((labels or {}).items()))
 
 
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _format_labels(key: LabelKey) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    inner = ",".join(f'{name}="{_escape_label_value(value)}"' for name, value in key)
     return "{" + inner + "}"
 
 
 def _format_value(value: float) -> str:
-    if float(value).is_integer():
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value.is_integer():
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
+
+
+def _quantile(sorted_window: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted, non-empty window."""
+    if len(sorted_window) == 1:
+        return sorted_window[0]
+    position = q * (len(sorted_window) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_window) - 1)
+    fraction = position - lower
+    return sorted_window[lower] * (1.0 - fraction) + sorted_window[upper] * fraction
+
+
+class _SummarySeries:
+    """One labelled summary series: exact count/sum + bounded sample window."""
+
+    __slots__ = ("count", "total", "window")
+
+    def __init__(self, window: int) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.window: Deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.window.append(value)
 
 
 class MetricsRegistry:
@@ -53,12 +103,13 @@ class MetricsRegistry:
     over the instrument maps happens under ``_lock``.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, summary_window: int = 1024) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, Dict[LabelKey, float]] = {}
-        self._summaries: Dict[str, List[float]] = {}
+        self._summaries: Dict[str, Dict[LabelKey, _SummarySeries]] = {}
         self._gauges: Dict[str, Callable[[], float]] = {}
         self._help: Dict[str, str] = {}
+        self._summary_window = summary_window
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -77,9 +128,20 @@ class MetricsRegistry:
             if help:
                 self._help.setdefault(name, help)
 
-    def observe(self, name: str, value: float, help: str = "") -> None:
+    def observe(
+        self,
+        name: str,
+        value: float,
+        help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        key = _label_key(labels)
         with self._lock:
-            self._summaries.setdefault(name, []).append(float(value))
+            by_label = self._summaries.setdefault(name, {})
+            series = by_label.get(key)
+            if series is None:
+                series = by_label[key] = _SummarySeries(self._summary_window)
+            series.observe(float(value))
             if help:
                 self._help.setdefault(name, help)
 
@@ -99,9 +161,16 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.get(name, {}).get(_label_key(labels), 0.0)
 
-    def summary_count(self, name: str) -> int:
+    def summary_count(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> int:
+        """Observation count for one series, or across all label sets."""
         with self._lock:
-            return len(self._summaries.get(name, ()))
+            by_label = self._summaries.get(name, {})
+            if labels is not None:
+                series = by_label.get(_label_key(labels))
+                return series.count if series is not None else 0
+            return sum(series.count for series in by_label.values())
 
     # ------------------------------------------------------------------ #
     # Rendering
@@ -113,7 +182,11 @@ class MetricsRegistry:
         with self._lock:
             counters = {name: dict(series) for name, series in self._counters.items()}
             summaries = {
-                name: (len(obs), sum(obs)) for name, obs in self._summaries.items()
+                name: {
+                    key: (series.count, series.total, sorted(series.window))
+                    for key, series in by_label.items()
+                }
+                for name, by_label in self._summaries.items()
             }
             gauges = dict(self._gauges)
             help_text = dict(self._help)
@@ -132,10 +205,20 @@ class MetricsRegistry:
                 lines.append(f"{name}{_format_labels(key)} {_format_value(value)}")
         for name in sorted(summaries):
             header(name, "summary")
-            count, total = summaries[name]
-            lines.append(f"{name}_count {count}")
-            lines.append(f"{name}_sum {_format_value(total)}")
+            for key in sorted(summaries[name]):
+                count, total, window = summaries[name][key]
+                for q in SUMMARY_QUANTILES:
+                    quantile_key = tuple(
+                        sorted(key + (("quantile", _format_value(q)),))
+                    )
+                    snapshot = _quantile(window, q) if window else math.nan
+                    rendered = _format_value(snapshot)
+                    lines.append(f"{name}{_format_labels(quantile_key)} {rendered}")
+                lines.append(f"{name}_count{_format_labels(key)} {count}")
+                lines.append(f"{name}_sum{_format_labels(key)} {_format_value(total)}")
         for name in sorted(gauges):
             header(name, "gauge")
             lines.append(f"{name} {_format_value(gauges[name]())}")
+        if not lines:
+            return ""
         return "\n".join(lines) + "\n"

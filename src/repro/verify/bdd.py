@@ -47,6 +47,12 @@ class BDD:
         self._unique: Dict[Tuple[int, int, int], int] = {}
         self._apply_cache: Dict[Tuple[str, int, int], int] = {}
         self._not_cache: Dict[int, int] = {}
+        # Profiling counters — two integer increments on the recursive apply
+        # path, cheap enough to keep always-on.  The observability layer
+        # (``repro.obs``) snapshots deltas of these around build/compare
+        # phases to attribute BDD cost per pipeline stage.
+        self.apply_ops = 0
+        self.apply_cache_hits = 0
 
     # ------------------------------------------------------------------ #
     # Node management
@@ -75,6 +81,16 @@ class BDD:
     def node_count(self) -> int:
         """Total number of nodes allocated by the manager (including terminals)."""
         return len(self._nodes)
+
+    def stats(self) -> Dict[str, float]:
+        """Profiling snapshot: node count, apply traffic and cache hit rate."""
+        hit_rate = self.apply_cache_hits / self.apply_ops if self.apply_ops else 0.0
+        return {
+            "nodes": len(self._nodes),
+            "apply_ops": self.apply_ops,
+            "apply_cache_hits": self.apply_cache_hits,
+            "apply_cache_hit_rate": hit_rate,
+        }
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -188,8 +204,10 @@ class BDD:
             return terminal
         # Commutative operations: normalise the cache key.
         key = (op, a, b) if a <= b else (op, b, a)
+        self.apply_ops += 1
         cached = self._apply_cache.get(key)
         if cached is not None:
+            self.apply_cache_hits += 1
             return cached
 
         var_a, low_a, high_a = self._nodes[a]

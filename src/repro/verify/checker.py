@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Literal, Optional, Sequence, Tuple
 
 from ..exceptions import VerificationError
+from ..obs import span
 from ..rules import TcamRule
 from .encoding import RuleSpace
 
@@ -250,9 +251,11 @@ class EquivalenceChecker:
     ) -> SwitchCheckResult:
         """Compare one switch's logical and deployed rules."""
         engine = self._select_engine(len(logical) + len(deployed))
-        if engine == "bdd":
-            return self._check_with_bdd(switch_uid, logical, deployed)
-        return self._check_with_hash(switch_uid, logical, deployed)
+        with span("check.switch", switch=switch_uid, engine=engine) as current:
+            current.count("rules", len(logical) + len(deployed))
+            if engine == "bdd":
+                return self._check_with_bdd(switch_uid, logical, deployed)
+            return self._check_with_hash(switch_uid, logical, deployed)
 
     def check_network(
         self,
@@ -313,8 +316,13 @@ class EquivalenceChecker:
         deployed: Sequence[TcamRule],
     ) -> SwitchCheckResult:
         manager = self.rule_space.new_manager()
-        l_bdd = self.rule_space.encode_ruleset(manager, logical)
-        t_bdd = self.rule_space.encode_ruleset(manager, deployed)
+        with span("verify.bdd.build", switch=switch_uid) as build:
+            l_bdd = self.rule_space.encode_ruleset(manager, logical)
+            t_bdd = self.rule_space.encode_ruleset(manager, deployed)
+            build.count("rules", len(logical) + len(deployed))
+            build.count("nodes", manager.node_count())
+            build.count("apply_ops", manager.apply_ops)
+            build.count("apply_cache_hits", manager.apply_cache_hits)
         if manager.equivalent(l_bdd, t_bdd):
             return SwitchCheckResult(
                 switch_uid=switch_uid,
@@ -324,27 +332,32 @@ class EquivalenceChecker:
                 engine="bdd",
             )
 
-        # Missing: logical rules whose match set is not fully covered by T.
-        missing_region = manager.apply_diff(l_bdd, t_bdd)
-        missing: list[TcamRule] = []
-        if missing_region != manager.FALSE:
-            for rule in logical:
-                if rule.action != "allow":
-                    continue
-                cube = self.rule_space.encode_rule(manager, rule)
-                if manager.apply_and(cube, missing_region) != manager.FALSE:
-                    missing.append(rule)
+        ops_before = manager.apply_ops
+        hits_before = manager.apply_cache_hits
+        with span("verify.bdd.compare", switch=switch_uid) as compare:
+            # Missing: logical rules whose match set is not fully covered by T.
+            missing_region = manager.apply_diff(l_bdd, t_bdd)
+            missing: list[TcamRule] = []
+            if missing_region != manager.FALSE:
+                for rule in logical:
+                    if rule.action != "allow":
+                        continue
+                    cube = self.rule_space.encode_rule(manager, rule)
+                    if manager.apply_and(cube, missing_region) != manager.FALSE:
+                        missing.append(rule)
 
-        # Extra: deployed rules allowing traffic the policy does not allow.
-        extra_region = manager.apply_diff(t_bdd, l_bdd)
-        extra: list[TcamRule] = []
-        if extra_region != manager.FALSE:
-            for rule in deployed:
-                if rule.action != "allow":
-                    continue
-                cube = self.rule_space.encode_rule(manager, rule)
-                if manager.apply_and(cube, extra_region) != manager.FALSE:
-                    extra.append(rule)
+            # Extra: deployed rules allowing traffic the policy does not allow.
+            extra_region = manager.apply_diff(t_bdd, l_bdd)
+            extra: list[TcamRule] = []
+            if extra_region != manager.FALSE:
+                for rule in deployed:
+                    if rule.action != "allow":
+                        continue
+                    cube = self.rule_space.encode_rule(manager, rule)
+                    if manager.apply_and(cube, extra_region) != manager.FALSE:
+                        extra.append(rule)
+            compare.count("apply_ops", manager.apply_ops - ops_before)
+            compare.count("apply_cache_hits", manager.apply_cache_hits - hits_before)
 
         return SwitchCheckResult(
             switch_uid=switch_uid,

@@ -1,0 +1,89 @@
+"""Unit tests for the ``repro-trace`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+
+
+class TestCheckSubcommand:
+    def test_prints_attribution_table(self, capsys):
+        assert main(["check", "--profile", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "[repro-trace] profile 'small'" in out
+        assert "consistent=True" in out
+        # The attribution table names the instrumented pipeline stages.
+        assert "check.switch" in out
+        assert "verify.bdd.build" in out
+        assert "% wall" in out
+
+    def test_exports_jsonl_and_chrome(self, tmp_path, capsys):
+        jsonl = tmp_path / "spans.jsonl"
+        chrome = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "check",
+                    "--profile",
+                    "small",
+                    "--jsonl",
+                    str(jsonl),
+                    "--chrome",
+                    str(chrome),
+                ]
+            )
+            == 0
+        )
+        payloads = [
+            json.loads(line) for line in jsonl.read_text().splitlines() if line
+        ]
+        assert payloads and all("span_id" in p for p in payloads)
+        trace = json.loads(chrome.read_text())
+        assert trace["traceEvents"]
+        assert {event["ph"] for event in trace["traceEvents"]} == {"X"}
+
+    def test_unknown_profile_errors(self):
+        with pytest.raises(ValueError, match="unknown workload profile"):
+            main(["check", "--profile", "nope"])
+
+
+class TestParallelSubcommand:
+    def test_breakdown_report_and_json(self, tmp_path, capsys):
+        out_json = tmp_path / "breakdown.json"
+        assert (
+            main(
+                [
+                    "parallel",
+                    "--profile",
+                    "small",
+                    "--workers",
+                    "2",
+                    "--json",
+                    str(out_json),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "reports identical: True" in out
+        assert "dominant:" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["reports_identical"] is True
+        assert payload["workers"] == 2
+        assert set(payload["stages"]) >= {
+            "pickle",
+            "worker_spawn_and_ipc",
+            "worker_bdd_build",
+            "worker_check",
+            "merge",
+        }
+        assert payload["accounted_seconds"] <= payload["wall_seconds"] * 1.01
+        assert payload["speedup"] > 0
+
+
+def test_requires_a_subcommand(capsys):
+    with pytest.raises(SystemExit):
+        main([])

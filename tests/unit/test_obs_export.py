@@ -1,0 +1,85 @@
+"""Unit tests for the JSONL and Chrome ``trace_event`` exporters."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    TraceCollector,
+    chrome_trace,
+    read_jsonl,
+    span_dicts,
+    write_chrome,
+    write_jsonl,
+)
+
+
+def _sample_collector():
+    collector = TraceCollector()
+    with collector.span("outer", profile="small") as outer:
+        outer.count("items", 7)
+        with collector.span("inner"):
+            pass
+    return collector
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        collector = _sample_collector()
+        path = tmp_path / "trace.jsonl"
+        written = write_jsonl(collector.spans(), str(path))
+        assert written == 2
+        assert read_jsonl(str(path)) == span_dicts(collector.spans())
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        payload = {"name": "s", "span_id": 1, "start": 0.0, "end": 1.0}
+        path.write_text(json.dumps(payload) + "\n\n\n")
+        assert read_jsonl(str(path)) == [payload]
+
+    def test_dicts_pass_through(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        payload = {"name": "s", "span_id": 1, "start": 0.0, "end": 0.5}
+        write_jsonl([payload], str(path))
+        assert read_jsonl(str(path)) == [payload]
+
+
+class TestChromeTrace:
+    def test_complete_events_with_microsecond_times(self):
+        collector = _sample_collector()
+        trace = chrome_trace(collector.spans())
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert len(events) == 2
+        by_name = {event["name"]: event for event in events}
+        outer = by_name["outer"]
+        assert outer["ph"] == "X"
+        assert outer["cat"] == "repro"
+        recorded = next(s for s in collector.spans() if s.name == "outer")
+        assert outer["ts"] == recorded.start * 1e6
+        assert outer["dur"] == (recorded.end - recorded.start) * 1e6
+        # Attributes and counters both land in args.
+        assert outer["args"] == {"profile": "small", "items": 7}
+        assert isinstance(outer["pid"], int) and isinstance(outer["tid"], int)
+
+    def test_write_chrome_is_valid_json(self, tmp_path):
+        collector = _sample_collector()
+        path = tmp_path / "trace.json"
+        assert write_chrome(collector.spans(), str(path)) == 2
+        loaded = json.loads(path.read_text())
+        assert loaded == chrome_trace(collector.spans())
+
+    def test_export_import_export_round_trip(self, tmp_path):
+        """JSONL → adopt → Chrome keeps the same event set."""
+        collector = _sample_collector()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(collector.spans(), str(path))
+        other = TraceCollector()
+        other.adopt(read_jsonl(str(path)))
+        original = chrome_trace(collector.spans())["traceEvents"]
+        adopted = chrome_trace(other.spans())["traceEvents"]
+        # Adoption remaps span ids, but Chrome events carry none — identical.
+        assert adopted == original
+
+    def test_empty_trace(self):
+        assert chrome_trace([]) == {"traceEvents": [], "displayTimeUnit": "ms"}

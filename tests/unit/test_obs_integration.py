@@ -1,0 +1,165 @@
+"""End-to-end tracing through the real pipeline: serial, parallel, online.
+
+These tests deploy the small workload and assert that the spans a
+``TraceCollector`` captures describe the actual execution: the serial
+check hits the BDD verifier per switch, the parallel check ships worker
+spans across the process boundary and re-parents them under the dispatch
+span, and the incremental refresh records its blast radius.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controller.controller import Controller
+from repro.core import ScoutSystem
+from repro.obs import TraceCollector, attribution, parallel_stage_breakdown
+from repro.online import IncrementalChecker
+from repro.workloads import small_profile
+from repro.workloads.generator import generate_workload
+
+
+@pytest.fixture(scope="module")
+def system():
+    workload = generate_workload(small_profile())
+    controller = Controller(workload.policy, workload.fabric)
+    controller.deploy()
+    return ScoutSystem(controller)
+
+
+class TestTracedCheck:
+    def test_serial_check_records_pipeline_spans(self, system):
+        collector = TraceCollector()
+        report = system.check(trace=collector)
+        assert report.equivalent
+        names = {recorded.name for recorded in collector.spans()}
+        assert {
+            "check.compile_logical",
+            "check.collect_deployed",
+            "check.network",
+            "check.switch",
+            "verify.bdd.build",
+        } <= names
+        switches = len(system.controller.fabric.switches)
+        assert sum(1 for s in collector.spans() if s.name == "check.switch") == switches
+        # BDD counters surfaced on the build spans.
+        builds = [s for s in collector.spans() if s.name == "verify.bdd.build"]
+        assert all(s.counters.get("apply_ops", 0) > 0 for s in builds)
+        # The report carries its trace.
+        assert report.trace is collector
+
+    def test_untraced_check_records_nothing(self, system):
+        collector = TraceCollector()
+        system.check()  # no trace= argument
+        assert len(collector) == 0
+
+    def test_parallel_check_adopts_worker_spans(self, system):
+        collector = TraceCollector()
+        serial_fp = system.check().fingerprint()
+        report = system.check(parallel=True, max_workers=2, trace=collector)
+        assert report.fingerprint() == serial_fp
+
+        spans = collector.spans()
+        by_name = {}
+        for recorded in spans:
+            by_name.setdefault(recorded.name, []).append(recorded)
+        for required in (
+            "parallel.plan",
+            "parallel.build_tasks",
+            "parallel.pool",
+            "parallel.dispatch",
+            "parallel.merge",
+            "worker.shard",
+            "worker.unpickle",
+            "worker.check",
+            "worker.serialize",
+        ):
+            assert required in by_name, f"missing span {required!r}"
+
+        # Worker roots are re-parented under the dispatch span.
+        (dispatch,) = by_name["parallel.dispatch"]
+        assert all(
+            shard.parent_id == dispatch.span_id for shard in by_name["worker.shard"]
+        )
+        # Worker-side checker spans survived the process boundary too.
+        assert "verify.bdd.build" in by_name
+        # Every shard of every switch was covered.
+        switches = len(system.controller.fabric.switches)
+        checked = sum(s.attrs.get("switches", 0) for s in by_name["worker.shard"])
+        assert checked == switches
+
+    def test_breakdown_covers_most_of_the_wall(self, system):
+        import time
+
+        collector = TraceCollector()
+        start = time.perf_counter()
+        system.check(parallel=True, max_workers=2, trace=collector)
+        wall = time.perf_counter() - start
+        breakdown = parallel_stage_breakdown(collector.spans(), wall, workers=2)
+        assert breakdown["coverage"] >= 0.9
+        assert breakdown["shards"] >= 1
+
+    def test_attribution_over_real_trace(self, system):
+        collector = TraceCollector()
+        system.check(trace=collector)
+        stats = attribution(collector.spans())
+        by_name = {stat.name: stat for stat in stats}
+        # check.network is the outermost stage: nothing outlasts it.
+        assert stats[0].name == "check.network"
+        assert (
+            by_name["check.switch"].total_seconds
+            <= by_name["check.network"].total_seconds
+        )
+
+
+class TestTracedLocalize:
+    def test_localize_records_scout_stages(self, system):
+        collector = TraceCollector()
+        report = system.localize(trace=collector)
+        names = {recorded.name for recorded in collector.spans()}
+        # scout.correlate only opens for a non-empty hypothesis; this
+        # deployment is consistent, so SCOUT has nothing to correlate.
+        assert {"scout.build_index", "scout.risk_model", "scout.localize"} <= names
+        assert report.trace is collector
+
+
+class TestTracedRefresh:
+    def test_incremental_refresh_spans(self):
+        workload = generate_workload(small_profile())
+        controller = Controller(workload.policy, workload.fabric)
+        controller.deploy()
+        checker = IncrementalChecker(controller)
+
+        collector = TraceCollector()
+        with collector.activate():
+            checker.bootstrap()
+        names = [recorded.name for recorded in collector.spans()]
+        assert "delta.bootstrap" in names
+
+        from repro.policy.objects import Filter, FilterEntry, ObjectType
+        from repro.protocol import Operation
+
+        target = next(
+            f
+            for f in workload.policy.filters()
+            if checker.index.pairs_for_object(f.uid)
+        )
+        tenant = workload.policy.tenant_of(target.uid).name
+        changed = Filter(
+            uid=target.uid,
+            name=target.name,
+            entries=target.entries + (FilterEntry(protocol="tcp", port=47000),),
+        )
+        controller.modify_object(tenant, changed, detail="trace test")
+        checker.note_policy_change(target.uid, ObjectType.FILTER, Operation.MODIFY)
+        collector.clear()
+        with collector.activate():
+            refreshed = checker.refresh()
+        assert refreshed
+        by_name = {recorded.name: recorded for recorded in collector.spans()}
+        assert "delta.refresh" in by_name
+        # The policy change dirties dependent pairs; switches become dirty
+        # only after those pairs recompile, so assert on pairs + checks.
+        assert by_name["delta.recompile_pairs"].attrs["pairs"] >= 1
+        refresh_span = by_name["delta.refresh"]
+        assert refresh_span.counters.get("switch_checks", 0) >= 1

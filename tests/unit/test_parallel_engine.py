@@ -121,7 +121,7 @@ class TestWorkUnits:
         )
         clone = pickle.loads(pickle.dumps(task))
         assert clone == task
-        (outcome,) = run_shard(clone)
+        (outcome,) = run_shard(clone).outcomes
         assert not outcome.equivalent
         assert outcome.missing == (_rule(443).match_key(),)
         assert outcome.engine == "bdd"
@@ -135,7 +135,7 @@ class TestWorkUnits:
         task = ShardTask(
             units=(unit,), engine="auto", bdd_limit=5, space_widths=(13, 15, 2, 16)
         )
-        (outcome,) = run_shard(task)
+        (outcome,) = run_shard(task).outcomes
         assert outcome.engine == "hash"  # 20 combined rules > bdd_limit=5
 
 

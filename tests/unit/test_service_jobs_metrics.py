@@ -167,6 +167,92 @@ class TestMetricsRegistry:
         assert metrics.summary_count("hot_seconds") == expected
 
 
+class TestMetricsExposition:
+    """Prometheus text-format edge cases: escaping, quantiles, odd floats."""
+
+    def test_empty_registry_renders_empty_string(self):
+        assert MetricsRegistry().render() == ""
+
+    def test_label_values_are_escaped(self):
+        metrics = MetricsRegistry()
+        metrics.inc("esc_total", labels={"path": 'a\\b"c\nd'})
+        assert 'esc_total{path="a\\\\b\\"c\\nd"} 1' in metrics.render()
+
+    def test_summary_renders_quantile_series(self):
+        metrics = MetricsRegistry()
+        metrics.observe("lat_seconds", 0.25)
+        metrics.observe("lat_seconds", 0.75)
+        text = metrics.render()
+        assert 'lat_seconds{quantile="0.5"} 0.5' in text
+        assert 'lat_seconds{quantile="0.9"} 0.7' in text
+        assert 'lat_seconds{quantile="0.99"}' in text
+
+    def test_single_observation_pins_every_quantile(self):
+        metrics = MetricsRegistry()
+        metrics.observe("one_seconds", 3.0)
+        text = metrics.render()
+        for q in ("0.5", "0.9", "0.99"):
+            assert f'one_seconds{{quantile="{q}"}} 3' in text
+
+    def test_labelled_summary_series_are_independent(self):
+        metrics = MetricsRegistry()
+        metrics.observe("stage_seconds", 1.0, labels={"stage": "build"})
+        metrics.observe("stage_seconds", 2.0, labels={"stage": "build"})
+        metrics.observe("stage_seconds", 5.0, labels={"stage": "check"})
+        text = metrics.render()
+        assert 'stage_seconds_count{stage="build"} 2' in text
+        assert 'stage_seconds_sum{stage="build"} 3' in text
+        assert 'stage_seconds_count{stage="check"} 1' in text
+        # Quantile label merges (sorted) into the series' own labels.
+        assert 'stage_seconds{quantile="0.5",stage="check"} 5' in text
+        assert metrics.summary_count("stage_seconds", {"stage": "build"}) == 2
+        assert metrics.summary_count("stage_seconds", {"stage": "check"}) == 1
+        assert metrics.summary_count("stage_seconds") == 3
+        assert metrics.summary_count("stage_seconds", {"stage": "nope"}) == 0
+
+    def test_window_bounds_quantiles_but_not_count_or_sum(self):
+        metrics = MetricsRegistry(summary_window=4)
+        for value in range(100):
+            metrics.observe("win_seconds", float(value))
+        text = metrics.render()
+        assert "win_seconds_count 100" in text
+        assert "win_seconds_sum 4950" in text
+        # Only the last 4 observations (96..99) back the quantile snapshot.
+        assert 'win_seconds{quantile="0.5"} 97.5' in text
+
+    def test_zero_window_renders_nan_quantiles(self):
+        metrics = MetricsRegistry(summary_window=0)
+        metrics.observe("empty_seconds", 1.0)
+        text = metrics.render()
+        assert 'empty_seconds{quantile="0.5"} NaN' in text
+        assert "empty_seconds_count 1" in text
+
+    def test_non_finite_values_render_per_spec(self):
+        metrics = MetricsRegistry()
+        metrics.observe("inf_seconds", float("inf"))
+        metrics.gauge("minus_inf", lambda: float("-inf"))
+        metrics.gauge("not_a_number", lambda: float("nan"))
+        text = metrics.render()
+        assert "inf_seconds_sum +Inf" in text
+        assert "minus_inf -Inf" in text
+        assert "not_a_number NaN" in text
+
+    def test_float_formatting_collapses_integers(self):
+        metrics = MetricsRegistry()
+        metrics.inc("whole_total", value=2.0)
+        metrics.observe("frac_seconds", 0.1)
+        text = metrics.render()
+        assert "whole_total 2" in text  # not 2.0
+        assert "frac_seconds_sum 0.1" in text  # repr keeps full precision
+
+    def test_type_headers_emitted_once_per_metric(self):
+        metrics = MetricsRegistry()
+        metrics.observe("multi_seconds", 1.0, labels={"a": "1"})
+        metrics.observe("multi_seconds", 2.0, labels={"a": "2"})
+        text = metrics.render()
+        assert text.count("# TYPE multi_seconds summary") == 1
+
+
 @pytest.mark.parametrize(
     "status, finished",
     [
