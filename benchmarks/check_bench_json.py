@@ -12,6 +12,9 @@ Exits non-zero (listing every problem) unless each file exists, parses as a
 JSON object, carries at least one *gate metric* (``speedup`` for the
 comparative benchmarks, ``requests_per_second`` for the service benchmark)
 and every gate metric present is a finite number strictly greater than 0.
+Files whose names appear in ``EXPECTED_KEYS`` must additionally carry
+*their* gate metric specifically — "some metric was present" is not enough
+to prove the right emitter ran.
 """
 
 from __future__ import annotations
@@ -32,6 +35,18 @@ GATE_KEYS = (
     "overhead_ratio",
 )
 
+#: The gate metric each known emitter is *expected* to write.  A renamed or
+#: dropped key must fail loudly here, not slide through because some other
+#: numeric key happened to satisfy the generic check above.
+EXPECTED_KEYS = {
+    "BENCH_online.json": "speedup",
+    "BENCH_parallel.json": "speedup",
+    "BENCH_service.json": "requests_per_second",
+    "BENCH_campaign.json": "cells_per_second",
+    "BENCH_churn.json": "events_per_second",
+    "BENCH_trace_overhead.json": "overhead_ratio",
+}
+
 #: A parallel benchmark that ships a stage attribution must have tiled most
 #: of the measured wall time, or the "dominant stage" claim is meaningless.
 ATTRIBUTION_COVERAGE_FLOOR = 0.9
@@ -51,6 +66,11 @@ def check_file(path: Path) -> list:
     if not present:
         expected = ", ".join(GATE_KEYS)
         problems.append(f"{path}: no gate metric present (expected one of: {expected})")
+    required = EXPECTED_KEYS.get(path.name)
+    if required is not None and required not in payload:
+        problems.append(
+            f"{path}: expected gate metric {required!r} missing from payload"
+        )
     for key in present:
         value = payload[key]
         if not isinstance(value, (int, float)) or isinstance(value, bool):

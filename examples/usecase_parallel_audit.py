@@ -85,6 +85,7 @@ def main() -> None:
     print(f"  ground truth        : {truth}")
     print(f"  blamed objects      : {blamed}")
     assert set(truth) & result.faulty_objects(), "SCOUT must find the damage"
+    system.close()
     print("\nParallel and serial audits agree; localization unchanged.")
 
 

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Gate: docs/http-api.md must document exactly the routes the service has.
+
+The service registers routes with ``add("METHOD", "/path", handler)`` in
+``src/repro/service/app.py``; the API reference documents each one under a
+heading shaped like ``### `GET /healthz` ``.  This script parses both by
+regex — no imports, no workload generation, so it runs in milliseconds on
+any interpreter — and exits non-zero listing every route that is
+registered-but-undocumented or documented-but-unregistered.
+
+Usage::
+
+    python scripts/check_api_docs.py [--repo-root PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+APP_SOURCE = Path("src/repro/service/app.py")
+API_DOC = Path("docs/http-api.md")
+
+#: ``add("GET", "/healthz", self._get_healthz)`` — the registration idiom.
+ROUTE_RE = re.compile(r'add\(\s*"(?P<method>[A-Z]+)",\s*"(?P<path>/[^"]*)"')
+
+#: ``### `GET /healthz` `` — the documentation idiom.
+HEADING_RE = re.compile(r"^#{2,4}\s+`(?P<method>[A-Z]+)\s+(?P<path>/\S+)`\s*$")
+
+
+def registered_routes(app_source: Path) -> set:
+    return {
+        (match.group("method"), match.group("path"))
+        for match in ROUTE_RE.finditer(app_source.read_text())
+    }
+
+
+def documented_routes(api_doc: Path) -> set:
+    routes = set()
+    for line in api_doc.read_text().splitlines():
+        match = HEADING_RE.match(line)
+        if match:
+            routes.add((match.group("method"), match.group("path")))
+    return routes
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repo-root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the parent of this script's directory)",
+    )
+    args = parser.parse_args(argv)
+    app_source = args.repo_root / APP_SOURCE
+    api_doc = args.repo_root / API_DOC
+    for path in (app_source, api_doc):
+        if not path.is_file():
+            print(f"api docs: missing {path}", file=sys.stderr)
+            return 2
+
+    registered = registered_routes(app_source)
+    documented = documented_routes(api_doc)
+    if not registered:
+        print(f"api docs: no routes parsed from {app_source}", file=sys.stderr)
+        return 2
+    if not documented:
+        print(f"api docs: no route headings parsed from {api_doc}", file=sys.stderr)
+        return 2
+
+    problems = []
+    for method, path in sorted(registered - documented):
+        problems.append(f"registered but not documented: {method} {path}")
+    for method, path in sorted(documented - registered):
+        problems.append(f"documented but not registered: {method} {path}")
+    for problem in problems:
+        print(f"api docs: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"api docs: {len(registered)} route(s) in sync")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

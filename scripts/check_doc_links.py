@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Gate: relative links in README.md and docs/*.md must resolve on disk.
+
+Scans every ``[text](target)`` in the documentation set and checks that
+relative targets exist.  Skipped on purpose: absolute URLs
+(``http(s)://``, ``mailto:``), pure in-page anchors (``#section``), and
+targets that escape the repository root (the README's CI badge links into
+``../../actions/...`` on GitHub, which only resolves on github.com).
+In-repo anchors (``file.md#section``) are checked for the *file* part
+only — heading slugs are a renderer concern.
+
+Usage::
+
+    python scripts/check_doc_links.py [--repo-root PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` — excludes images' leading ``!`` by not caring: a
+#: broken image path is just as dead as a broken link.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def doc_files(repo_root: Path) -> list:
+    files = [repo_root / "README.md"]
+    files.extend(sorted((repo_root / "docs").glob("*.md")))
+    return [path for path in files if path.is_file()]
+
+
+def check_file(doc: Path, repo_root: Path) -> list:
+    problems = []
+    for lineno, line in enumerate(doc.read_text().splitlines(), start=1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (doc.parent / file_part).resolve()
+            try:
+                resolved.relative_to(repo_root.resolve())
+            except ValueError:
+                continue  # escapes the repo (e.g. the CI badge) — not ours
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(repo_root)}:{lineno}: dead link "
+                    f"({target!r} -> {resolved})"
+                )
+    return problems
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repo-root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the parent of this script's directory)",
+    )
+    args = parser.parse_args(argv)
+    docs = doc_files(args.repo_root)
+    if not docs:
+        print("doc links: no documentation files found", file=sys.stderr)
+        return 2
+    problems = []
+    checked = 0
+    for doc in docs:
+        checked += 1
+        problems.extend(check_file(doc, args.repo_root))
+    for problem in problems:
+        print(f"doc links: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"doc links: {checked} file(s) ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

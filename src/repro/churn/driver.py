@@ -194,11 +194,17 @@ class ChurnDriver:
         change_window: int = 100,
         bdd_limit: int = 512,
         fault_kinds: Tuple[str, ...] = ("full", "partial"),
+        max_workers: Optional[int] = None,
     ) -> None:
         self.controller = controller
         self.profile = profile
         self.clock = controller.clock
         self.strict = strict
+        #: When set, checkpoint full checks run through the system's
+        #: persistent warm-worker pool — churn rounds are exactly where
+        #: worker memoization pays, since most switches are unchanged
+        #: between checkpoints.  ``None`` keeps the serial oracle.
+        self.max_workers = max_workers
         # A churn run re-checks violating switches thousands of times (every
         # event that touches a faulted switch digests dirty), so heavyweight
         # leaves get the exact-match hash engine instead of a fresh ROBDD per
@@ -236,6 +242,17 @@ class ChurnDriver:
         self._last_checkpoint: Optional[CheckpointRecord] = None
         self._last_full_report: Optional[EquivalenceReport] = None
 
+    def close(self) -> None:
+        """Release both sides' worker pools (oracle system and monitor)."""
+        self.system.close()
+        self.monitor.delta.close()
+
+    def __enter__(self) -> "ChurnDriver":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ #
     # Construction helpers
     # ------------------------------------------------------------------ #
@@ -249,6 +266,7 @@ class ChurnDriver:
         strict: bool = True,
         change_window: int = 100,
         fault_kinds: Tuple[str, ...] = ("full", "partial"),
+        max_workers: Optional[int] = None,
     ) -> "ChurnDriver":
         """Generate + deploy ``workload`` and wrap it in a churn driver.
 
@@ -272,6 +290,7 @@ class ChurnDriver:
             strict=strict,
             change_window=change_window,
             fault_kinds=fault_kinds,
+            max_workers=max_workers,
         )
 
     def _attachment_map(self) -> Dict[str, Tuple[str, ...]]:
@@ -641,7 +660,14 @@ class ChurnDriver:
                 self.monitor.poll(force=True)
             incremental = self.monitor.report()
         with span("churn.checkpoint.full_check"):
-            full = self.system.check()
+            # With max_workers set the from-scratch sweep reuses the
+            # system's warm pool across checkpoints; the oracle compares
+            # semantic fingerprints, which the engine guarantees identical
+            # whatever executor (or cache state) ran the check.
+            full = self.system.check(
+                parallel=self.max_workers is not None,
+                max_workers=self.max_workers,
+            )
         self._last_full_report = full
         record = CheckpointRecord(
             seq=seq,

@@ -23,6 +23,8 @@ from typing import Dict, Hashable, List, Literal, Optional, Sequence, Set
 from ..controller.controller import Controller
 from ..obs import TraceCollector, activated, span
 from ..parallel.engine import plan_for_report
+from ..parallel.executor import SMALL_FABRIC_SWITCHES
+from ..parallel.pool import WarmWorkerPool
 from ..parallel.shards import ShardPlan, clamp_workers
 from ..policy.graph import PolicyIndex
 from ..risk.augment import (
@@ -144,6 +146,35 @@ class ScoutSystem:
             )
         )
         self.correlation_engine = correlation_engine or EventCorrelationEngine()
+        #: Lazily created persistent worker pool for parallel sweeps.
+        self._pool: Optional[WarmWorkerPool] = None
+
+    # ------------------------------------------------------------------ #
+    # Worker-pool lifecycle
+    # ------------------------------------------------------------------ #
+    def worker_pool(self, max_workers: Optional[int] = None) -> WarmWorkerPool:
+        """The system's persistent warm-worker pool, created on first use.
+
+        The first call sizes the pool; later calls reuse it as-is (the
+        shard plan still honours each call's ``max_workers``, so a smaller
+        round simply leaves workers idle).  Workers keep their memoized
+        compiled state across rounds until :meth:`close`.
+        """
+        if self._pool is None or self._pool.closed:
+            self._pool = WarmWorkerPool(max_workers=max_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool — and its warm caches — if one exists."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ScoutSystem":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Step 1: L-T equivalence check
@@ -159,10 +190,12 @@ class ScoutSystem:
         """Compare desired (L) and deployed (T) rules across the fabric.
 
         With ``parallel=True`` (or an explicit ``executor``) the per-switch
-        checks run through the sharded engine — a process pool of
-        ``max_workers`` on large fabrics, the deterministic in-process
-        fallback on small ones.  The report is identical either way; only
-        the wall-clock differs.
+        checks run through the sharded engine — the system's persistent
+        :class:`~repro.parallel.pool.WarmWorkerPool` of ``max_workers`` on
+        large fabrics (workers and their memo caches survive across calls
+        until :meth:`close`), the deterministic in-process fallback on
+        small ones.  The report is identical either way; only the
+        wall-clock differs.
 
         ``trace`` activates the given :class:`~repro.obs.TraceCollector`
         for the duration of the sweep; the collector is also attached to
@@ -179,6 +212,12 @@ class ScoutSystem:
                     (uid, logical.get(uid, ()), deployed.get(uid, ()))
                     for uid in sorted(set(logical) | set(deployed))
                 ]
+                if executor is None and len(switches) >= SMALL_FABRIC_SWITCHES:
+                    # Large fabrics go through the persistent pool so the
+                    # workers' memo caches survive into the next round;
+                    # small ones fall through to the inline fallback inside
+                    # resolve_executor (no processes to keep warm).
+                    executor = self.worker_pool(max_workers)
                 report = self.checker.check_many(
                     switches, executor=executor, max_workers=max_workers
                 )

@@ -144,14 +144,23 @@ def parallel_stage_breakdown(
     workers actually used before being compared against wall clock.  The
     ``worker_spawn_and_ipc`` stage is the dispatch window not accounted for
     by normalised worker busy time: pool construction, process spawn,
-    argument pickling transit, and result transit.
+    argument pickling transit, and result transit.  The ``cache`` block
+    aggregates the per-shard memo-cache counters (``cache_hits`` /
+    ``cache_misses`` on each ``worker.shard`` span), so the breakdown also
+    says *why* a warm round was fast.
     """
     payloads = span_dicts(spans)
     totals: Dict[str, float] = defaultdict(float)
     counts: Dict[str, int] = defaultdict(int)
+    cache_hits = 0
+    cache_misses = 0
     for payload in payloads:
         totals[payload["name"]] += _durations(payload)
         counts[payload["name"]] += 1
+        if payload["name"] == "worker.shard":
+            counters = payload.get("counters", {})
+            cache_hits += int(counters.get("cache_hits", 0))
+            cache_misses += int(counters.get("cache_misses", 0))
 
     shard_count = counts.get("worker.shard", 0)
     workers_used = max(1, min(workers, shard_count))
@@ -186,6 +195,7 @@ def parallel_stage_breakdown(
     accounted = sum(stages.values())
     coverage = accounted / wall_seconds if wall_seconds > 0 else 0.0
     dominant = max(stages, key=lambda name: stages[name]) if stages else ""
+    cache_total = cache_hits + cache_misses
     return {
         "wall_seconds": wall_seconds,
         "workers": workers,
@@ -195,6 +205,14 @@ def parallel_stage_breakdown(
         "accounted_seconds": accounted,
         "coverage": coverage,
         "dominant_stage": dominant,
+        # Worker memo-cache activity for the traced round, aggregated from
+        # the per-shard counters: a warm round shows hit_rate near 1.0, a
+        # cold round exactly 0.0.
+        "cache": {
+            "hits": cache_hits,
+            "misses": cache_misses,
+            "hit_rate": cache_hits / cache_total if cache_total else 0.0,
+        },
     }
 
 

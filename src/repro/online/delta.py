@@ -37,6 +37,8 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from ..controller.compiler import compile_pair_rules
 from ..controller.controller import Controller
 from ..obs import span
+from ..parallel.executor import SMALL_FABRIC_SWITCHES
+from ..parallel.pool import WarmWorkerPool
 from ..policy.graph import PolicyIndex
 from ..policy.objects import EpgPair, ObjectType
 from ..protocol import Operation
@@ -73,6 +75,9 @@ class IncrementalChecker:
     ) -> None:
         self.controller = controller
         self.checker = checker or EquivalenceChecker()
+        #: Lazily created warm pool for large batched refreshes; kept across
+        #: refreshes so a churn storm's repeat offenders hit warm workers.
+        self._pool: Optional[WarmWorkerPool] = None
         self._index: Optional[PolicyIndex] = None
         self._index_dirty = False
         self._results: Dict[str, SwitchCheckResult] = {}
@@ -388,13 +393,28 @@ class IncrementalChecker:
         ``check_many`` plans the shards itself (rule-count-weighted LPT, the
         same planner the full-fabric sweep uses), so the blast radius is
         balanced the same way a full parallel check would balance it.
+        Blast radii big enough to amortize processes run on this checker's
+        persistent :class:`~repro.parallel.pool.WarmWorkerPool` so repeat
+        offenders (a flapping switch re-dirtied every few events) are
+        answered from warm worker caches; smaller ones stay inline via
+        ``resolve_executor``'s fallback.
         """
+        if executor is None and len(pending) >= SMALL_FABRIC_SWITCHES:
+            if self._pool is None or self._pool.closed:
+                self._pool = WarmWorkerPool(max_workers=max_workers)
+            executor = self._pool
         report = self.checker.check_many(
             pending, executor=executor, max_workers=max_workers
         )
         self.switch_checks += len(report.results)
         self._results.update(report.results)
         return dict(report.results)
+
+    def close(self) -> None:
+        """Release the batch worker pool (and its warm caches), if any."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
 
     # ------------------------------------------------------------------ #
     # State access

@@ -160,6 +160,12 @@ class NetworkMonitor:
             self._instrumentation = None
         self.bus.unsubscribe(self._on_event)
 
+    def close(self) -> None:
+        """Detach (if attached) and release the checker's worker pool."""
+        if self.running:
+            self.stop()
+        self.delta.close()
+
     # ------------------------------------------------------------------ #
     # Event intake
     # ------------------------------------------------------------------ #

@@ -3,10 +3,14 @@
 The L-T equivalence check is embarrassingly parallel across switches, so
 this package partitions the fabric into balanced shards
 (:mod:`~repro.parallel.shards`), runs each shard's per-switch checks in a
-``concurrent.futures`` process pool — or a deterministic in-process
-fallback (:mod:`~repro.parallel.executor`) — and merges the results into
-one network-wide :class:`~repro.verify.checker.EquivalenceReport`
-(:mod:`~repro.parallel.engine`).
+persistent warm worker pool with sticky shard routing
+(:mod:`~repro.parallel.pool`) — or a ``concurrent.futures`` process pool,
+or a deterministic in-process fallback (:mod:`~repro.parallel.executor`) —
+and merges the results into one network-wide
+:class:`~repro.verify.checker.EquivalenceReport`
+(:mod:`~repro.parallel.engine`).  Workers memoize per-pair compiled state
+keyed by rule-set digests (:mod:`~repro.parallel.memo`), so an unchanged
+switch is never re-derived across rounds.
 
 The entry points most callers want live on the existing classes:
 
@@ -28,19 +32,34 @@ from .engine import (
     run_shard,
 )
 from .executor import SerialExecutor, resolve_executor
+from .memo import (
+    WORKER_CACHE,
+    CompiledOutcome,
+    CompiledStateCache,
+    reset_worker_cache,
+    ruleset_digest,
+)
+from .pool import BrokenWorkerPool, WarmWorkerPool
 from .shards import ShardPlan, clamp_workers, plan_shards
 
 __all__ = [
+    "BrokenWorkerPool",
+    "CompiledOutcome",
+    "CompiledStateCache",
     "SerialExecutor",
     "ShardPlan",
     "ShardResult",
     "ShardTask",
     "SwitchWorkOutcome",
     "SwitchWorkUnit",
+    "WORKER_CACHE",
+    "WarmWorkerPool",
     "check_switches",
     "clamp_workers",
     "plan_for_report",
     "plan_shards",
+    "reset_worker_cache",
     "resolve_executor",
+    "ruleset_digest",
     "run_shard",
 ]

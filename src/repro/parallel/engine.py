@@ -8,29 +8,39 @@ pure-data description of its switches' rule sets:
 * rules cross the process boundary as **match keys** — the
   ``(vrf, src, dst, protocol, port, action)`` tuples that fully determine
   L-T semantics — never as policy-laden :class:`~repro.rules.TcamRule`
-  objects, keeping pickles small;
-* the worker reconstructs bare rules from the keys, builds the ROBDDs
-  locally (BDD managers never cross process boundaries) and returns match
-  keys for the missing/extra sides;
-* the parent *rehydrates* those keys back into the original rule objects —
+  objects, keeping pickles small.  Identical rule sets within a shard
+  (the common case: a healthy switch's logical and deployed sides are the
+  same key sequence) are interned into **shared rule buffers**, pickled
+  once per shard round-trip and referenced by index from the work units;
+* the worker digests each buffer and consults its process-local
+  :data:`~repro.parallel.memo.WORKER_CACHE` before doing any real work: a
+  rule-set pair it has checked before — in an earlier round of a warm
+  :class:`~repro.parallel.pool.WarmWorkerPool`, or on a twin switch in
+  this round — is answered from the memoized outcome without rebuilding a
+  single BDD node.  Only cache misses reconstruct rules and run the
+  checker (BDD managers never cross process boundaries);
+* the worker returns match keys for the missing/extra sides, and the
+  parent *rehydrates* those keys back into the original rule objects —
   provenance intact — so a merged :class:`EquivalenceReport` is
   indistinguishable from one produced by the serial sweep.
 
-Rehydration is exact because rule-set semantics are a pure function of the
-match keys: a logical rule lands in ``missing_rules`` iff its key does,
-whichever process evaluated the BDD.
+Rehydration — and the memo cache riding on it — is exact because rule-set
+semantics are a pure function of the match keys: a logical rule lands in
+``missing_rules`` iff its key does, whichever process (or cache entry)
+evaluated the BDD.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from ..obs import TraceCollector, activated, current, span
 from ..rules import MatchKey, TcamRule
 from ..verify.checker import EquivalenceChecker, EquivalenceReport, SwitchCheckResult
 from ..verify.encoding import RuleSpace
 from .executor import resolve_executor
+from .memo import WORKER_CACHE, CompiledOutcome, ruleset_digest
 from .shards import ShardPlan, clamp_workers, plan_shards
 
 __all__ = [
@@ -49,11 +59,11 @@ SwitchTriple = Tuple[str, Sequence[TcamRule], Sequence[TcamRule]]
 
 @dataclass(frozen=True)
 class SwitchWorkUnit:
-    """One switch's rule sets, serialized to match keys (picklable)."""
+    """One switch's rule sets, as indices into the shard's shared buffers."""
 
     switch_uid: str
-    logical: Tuple[MatchKey, ...]
-    deployed: Tuple[MatchKey, ...]
+    logical_ref: int
+    deployed_ref: int
 
 
 @dataclass(frozen=True)
@@ -73,42 +83,39 @@ class SwitchWorkOutcome:
 class ShardTask:
     """A batch of work units plus the checker configuration to apply.
 
-    The rule space travels as its field bit-widths — four integers — so the
-    worker can rebuild an identical encoder without pickling BDD state.
+    ``buffers`` holds the shard's distinct match-key sequences exactly once;
+    work units reference them by index, so a rule set shared by many
+    switches — or by a switch's own logical and deployed sides — crosses
+    the process boundary in a single copy.  The rule space travels as its
+    field bit-widths — four integers — so the worker can rebuild an
+    identical encoder without pickling BDD state.
     """
 
     units: Tuple[SwitchWorkUnit, ...]
+    buffers: Tuple[Tuple[MatchKey, ...], ...]
     engine: str
     bdd_limit: int
     space_widths: Tuple[int, int, int, int]
-    #: When true the worker records spans for its own stages (unpickle,
+    #: When true the worker records spans for its own stages (digest+lookup,
     #: check, serialize) and ships them back inside the ShardResult.
     trace: bool = False
 
 
 @dataclass(frozen=True)
 class ShardResult:
-    """What a worker sends back: outcomes plus (optionally) its trace.
+    """What a worker sends back: outcomes, cache counters, optional trace.
 
     ``spans`` are plain dicts (:meth:`repro.obs.Span.to_dict`) so the
     payload pickles without dragging collector state across the process
     boundary; the parent re-attaches them with ``TraceCollector.adopt``.
+    ``cache_hits``/``cache_misses`` count this shard's work units against
+    the worker-process memo cache (always reported, traced or not).
     """
 
     outcomes: Tuple[SwitchWorkOutcome, ...]
     spans: Tuple[Dict[str, Any], ...] = field(default_factory=tuple)
-
-
-def _work_unit(
-    switch_uid: str,
-    logical: Sequence[TcamRule],
-    deployed: Sequence[TcamRule],
-) -> SwitchWorkUnit:
-    return SwitchWorkUnit(
-        switch_uid=switch_uid,
-        logical=tuple(rule.match_key() for rule in logical),
-        deployed=tuple(rule.match_key() for rule in deployed),
-    )
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 def _rule_from_key(key: MatchKey) -> TcamRule:
@@ -123,53 +130,109 @@ def _rule_from_key(key: MatchKey) -> TcamRule:
     )
 
 
+def _intern_keys(
+    buffers: List[Tuple[MatchKey, ...]],
+    index: Dict[Tuple[MatchKey, ...], int],
+    rules: Sequence[TcamRule],
+) -> int:
+    """Intern one rule set's key sequence into the shard buffers."""
+    keys = tuple(rule.match_key() for rule in rules)
+    position = index.get(keys)
+    if position is None:
+        position = len(buffers)
+        index[keys] = position
+        buffers.append(keys)
+    return position
+
+
+def _compiled_outcome(result: SwitchCheckResult) -> CompiledOutcome:
+    return CompiledOutcome(
+        equivalent=result.equivalent,
+        missing=tuple(rule.match_key() for rule in result.missing_rules),
+        extra=tuple(rule.match_key() for rule in result.extra_rules),
+        logical_count=result.logical_count,
+        deployed_count=result.deployed_count,
+        engine=result.engine,
+    )
+
+
 def run_shard(task: ShardTask) -> ShardResult:
-    """Worker entry point: check every switch of one shard.
+    """Worker entry point: check every switch of one shard, cache-first.
 
     Must stay a module-level function so both ``fork`` and ``spawn`` start
-    methods can import it.  When ``task.trace`` is set, the worker opens a
-    local collector and times its own stages — rule reconstruction from
-    match keys ("unpickle"), the checks themselves, and outcome
-    serialization — so the parent can attribute in-worker cost without any
-    shared state.
+    methods can import it.  Each work unit is resolved against the
+    process-local :data:`~repro.parallel.memo.WORKER_CACHE` under a key of
+    (logical digest, deployed digest, checker configuration); only misses
+    reconstruct rules from the shared buffers and run the real checker,
+    and the fresh outcome is stored for every later round that lands on
+    this worker.  When ``task.trace`` is set, the worker opens a local
+    collector and times its own stages — buffer digesting ("unpickle"),
+    cache lookups plus the checks themselves (with rules hydrated lazily
+    per missed buffer), and outcome serialization — so the parent can
+    attribute in-worker cost without any shared state.
     """
-    space = RuleSpace(*task.space_widths)
-    checker = EquivalenceChecker(
-        rule_space=space, engine=task.engine, bdd_limit=task.bdd_limit
-    )
     collector = TraceCollector(enabled=task.trace)
+    config = (task.engine, task.bdd_limit, task.space_widths)
     with activated(collector):
-        with span("worker.shard", switches=len(task.units)):
+        with span("worker.shard", switches=len(task.units)) as shard_span:
             with span("worker.unpickle"):
-                hydrated = [
-                    (
-                        unit.switch_uid,
-                        [_rule_from_key(key) for key in unit.logical],
-                        [_rule_from_key(key) for key in unit.deployed],
-                    )
-                    for unit in task.units
-                ]
-            results = []
+                digests = tuple(ruleset_digest(buffer) for buffer in task.buffers)
+            hits = 0
+            misses = 0
+            hydrated: Dict[int, List[TcamRule]] = {}
+
+            def rules_for(ref: int) -> List[TcamRule]:
+                rules = hydrated.get(ref)
+                if rules is None:
+                    rules = hydrated[ref] = [
+                        _rule_from_key(key) for key in task.buffers[ref]
+                    ]
+                return rules
+
+            resolved: List[CompiledOutcome] = []
             with span("worker.check"):
-                for switch_uid, logical, deployed in hydrated:
-                    results.append(checker.check_switch(switch_uid, logical, deployed))
+                checker = EquivalenceChecker(
+                    rule_space=RuleSpace(*task.space_widths),
+                    engine=task.engine,
+                    bdd_limit=task.bdd_limit,
+                )
+                for unit in task.units:
+                    key: Hashable = (
+                        digests[unit.logical_ref],
+                        digests[unit.deployed_ref],
+                    ) + config
+                    cached = WORKER_CACHE.lookup(key)
+                    if cached is None:
+                        misses += 1
+                        result = checker.check_switch(
+                            unit.switch_uid,
+                            rules_for(unit.logical_ref),
+                            rules_for(unit.deployed_ref),
+                        )
+                        cached = _compiled_outcome(result)
+                        WORKER_CACHE.store(key, cached)
+                    else:
+                        hits += 1
+                    resolved.append(cached)
             with span("worker.serialize"):
                 outcomes = tuple(
                     SwitchWorkOutcome(
-                        switch_uid=result.switch_uid,
-                        equivalent=result.equivalent,
-                        missing=tuple(
-                            rule.match_key() for rule in result.missing_rules
-                        ),
-                        extra=tuple(rule.match_key() for rule in result.extra_rules),
-                        logical_count=result.logical_count,
-                        deployed_count=result.deployed_count,
-                        engine=result.engine,
+                        switch_uid=unit.switch_uid,
+                        equivalent=outcome.equivalent,
+                        missing=outcome.missing,
+                        extra=outcome.extra,
+                        logical_count=outcome.logical_count,
+                        deployed_count=outcome.deployed_count,
+                        engine=outcome.engine,
                     )
-                    for result in results
+                    for unit, outcome in zip(task.units, resolved)
                 )
+            shard_span.count("cache_hits", hits)
+            shard_span.count("cache_misses", misses)
     spans = tuple(recorded.to_dict() for recorded in collector.spans())
-    return ShardResult(outcomes=outcomes, spans=spans)
+    return ShardResult(
+        outcomes=outcomes, spans=spans, cache_hits=hits, cache_misses=misses
+    )
 
 
 def _rehydrate(
@@ -247,7 +310,12 @@ def check_switches(
     whose configuration (engine selection, BDD limit, rule space) every
     worker replicates.  The merged report lists switches in sorted-uid order
     — byte-identical to :meth:`EquivalenceChecker.check_network` over the
-    same snapshots, whatever the executor or shard plan.
+    same snapshots, whatever the executor, shard plan or cache state.
+
+    Passing a :class:`~repro.parallel.pool.WarmWorkerPool` as ``executor``
+    keeps the workers (and their memo caches) alive across calls; the plan
+    is a pure function of the uids and weights, so an unchanged fabric's
+    shards land on the same workers round after round.
     """
     collector = current()
     tracing = collector is not None and collector.enabled
@@ -267,16 +335,25 @@ def check_switches(
 
     with span("parallel.build_tasks") as build_span:
         tasks = []
+        interned = 0
         for shard in plan.group(triples):
+            buffers: List[Tuple[MatchKey, ...]] = []
+            index: Dict[Tuple[MatchKey, ...], int] = {}
             units = tuple(
-                _work_unit(uid, triples[uid][0], triples[uid][1])
+                SwitchWorkUnit(
+                    switch_uid=uid,
+                    logical_ref=_intern_keys(buffers, index, triples[uid][0]),
+                    deployed_ref=_intern_keys(buffers, index, triples[uid][1]),
+                )
                 for uid in shard
                 if uid in triples
             )
             if units:
+                interned += len(buffers)
                 tasks.append(
                     ShardTask(
                         units=units,
+                        buffers=tuple(buffers),
                         engine=checker.engine,
                         bdd_limit=checker.bdd_limit,
                         space_widths=_space_widths(checker.rule_space),
@@ -284,6 +361,7 @@ def check_switches(
                     )
                 )
         build_span.count("shards", len(tasks))
+        build_span.count("rule_buffers", interned)
 
     with span("parallel.pool"):
         pool, owned = resolve_executor(
@@ -291,15 +369,21 @@ def check_switches(
         )
     try:
         outcomes: Dict[str, SwitchWorkOutcome] = {}
+        cache_hits = 0
+        cache_misses = 0
         with span("parallel.dispatch", shards=len(tasks)) as dispatch_span:
             for shard_result in pool.map(run_shard, tasks):
                 for outcome in shard_result.outcomes:
                     outcomes[outcome.switch_uid] = outcome
+                cache_hits += shard_result.cache_hits
+                cache_misses += shard_result.cache_misses
                 if tracing and shard_result.spans:
                     # run_shard records onto its own local collector (even
                     # when executed in-process), so the shipped spans are
                     # the only copy — adopt them under the dispatch span.
                     collector.adopt(shard_result.spans, parent=dispatch_span)
+            dispatch_span.count("cache_hits", cache_hits)
+            dispatch_span.count("cache_misses", cache_misses)
     finally:
         if owned:
             pool.shutdown()

@@ -13,7 +13,10 @@ Two execution strategies share one tiny surface (``map`` over shard tasks):
   serialize BDD managers or policy objects.
 
 :func:`resolve_executor` picks between them and reports whether the caller
-owns (and must shut down) the returned executor.
+owns (and must shut down) the returned executor.  Callers that want warm
+workers across rounds pass a :class:`~repro.parallel.pool.WarmWorkerPool`
+explicitly — an explicit executor is always used as-is and never shut down
+here, which is exactly what keeps its memo caches alive.
 """
 
 from __future__ import annotations

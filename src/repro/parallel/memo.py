@@ -1,0 +1,131 @@
+"""The worker-resident compiled-state cache behind the warm pool.
+
+A shard worker's dominant cost is rebuilding ROBDDs for rule sets it has
+already seen: across churn rounds, monitor refreshes and repeated audits the
+overwhelming majority of switches are byte-identical to the previous round,
+yet every short-lived pool re-derived their BDDs from scratch (ROADMAP Open
+item 1 — in-worker BDD build was ~90% of parallel wall time).
+
+:class:`CompiledStateCache` memoizes the *outcome* of one switch check —
+equivalence verdict plus missing/extra match keys — keyed by digests of the
+logical and deployed rule sets and the checker configuration.  The outcome
+is uid-independent (rule-set semantics are a pure function of the match
+keys, the same argument that makes parent-side rehydration exact), so two
+switches carrying identical rule sets share one entry, and an unchanged
+switch is never rebuilt across rounds as long as its worker process lives.
+
+Digest discipline mirrors :class:`repro.online.delta.SwitchDigest`: the
+digest covers the exact match-key sequence, so any rule add/remove/reorder
+changes it and the stale entry is simply never looked up again (the LRU
+bound evicts it eventually).  There is no explicit invalidation protocol to
+get wrong — and nothing semantic rides on *hits*, so a cold cache, an
+evicted entry or a respawned worker only ever costs time, never identity.
+
+The module-level :data:`WORKER_CACHE` instance lives in whichever process
+runs :func:`repro.parallel.engine.run_shard` — a long-lived pool worker
+under :class:`repro.parallel.pool.WarmWorkerPool`, or the parent itself
+under the inline :class:`repro.parallel.executor.SerialExecutor` (which is
+how the warm path stays testable, and covered, on single-core machines).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Sequence, Tuple
+
+from ..rules import MatchKey
+
+__all__ = [
+    "CompiledOutcome",
+    "CompiledStateCache",
+    "WORKER_CACHE",
+    "reset_worker_cache",
+    "ruleset_digest",
+]
+
+#: Entries kept per worker process.  An entry is a verdict plus the missing/
+#: extra key tuples — small for healthy switches, bounded by TCAM size for
+#: violating ones — so even the datacenter profile (512 leaves, one entry
+#: per distinct rule-set pair) fits with a wide margin.
+DEFAULT_CACHE_ENTRIES = 4096
+
+
+def ruleset_digest(keys: Sequence[MatchKey]) -> str:
+    """A stable digest of one rule set's exact match-key sequence.
+
+    Order-sensitive on purpose: compile order is deterministic for an
+    unchanged fabric, and treating a reorder as a miss is always sound —
+    the check is simply recomputed.  Duplicates count, matching the
+    serial engine's view of the rule list.
+    """
+    hasher = hashlib.sha256()
+    for key in keys:
+        hasher.update(repr(key).encode("utf-8"))
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class CompiledOutcome:
+    """The uid-independent result of one switch check (what gets memoized)."""
+
+    equivalent: bool
+    missing: Tuple[MatchKey, ...]
+    extra: Tuple[MatchKey, ...]
+    logical_count: int
+    deployed_count: int
+    engine: str
+
+
+class CompiledStateCache:
+    """A bounded LRU of :class:`CompiledOutcome` keyed by rule-set digests."""
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, CompiledOutcome]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Hashable) -> Optional[CompiledOutcome]:
+        """The cached outcome for ``key`` (marking it recently used), or None."""
+        outcome = self._entries.get(key)
+        if outcome is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return outcome
+
+    def store(self, key: Hashable, outcome: CompiledOutcome) -> None:
+        self._entries[key] = outcome
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and zero the counters (tests and respawns)."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, Any]:
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+
+#: The per-process cache :func:`repro.parallel.engine.run_shard` consults.
+WORKER_CACHE = CompiledStateCache()
+
+
+def reset_worker_cache() -> None:
+    """Clear this process's worker cache (test isolation helper)."""
+    WORKER_CACHE.clear()

@@ -159,12 +159,12 @@ class ScoutService:
             self.monitor.start()
 
     def close(self) -> None:
-        """Stop the job workers and detach the monitor."""
+        """Stop the job workers, detach the monitor, release worker pools."""
         self.queue.shutdown()
         self.campaigns.shutdown()
         self.churn.shutdown()
-        if self.monitor.running:
-            self.monitor.stop()
+        self.monitor.close()
+        self.system.close()
 
     # ------------------------------------------------------------------ #
     # Dispatch

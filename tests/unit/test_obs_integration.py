@@ -15,6 +15,7 @@ from repro.controller.controller import Controller
 from repro.core import ScoutSystem
 from repro.obs import TraceCollector, attribution, parallel_stage_breakdown
 from repro.online import IncrementalChecker
+from repro.parallel.memo import reset_worker_cache
 from repro.workloads import small_profile
 from repro.workloads.generator import generate_workload
 
@@ -56,6 +57,11 @@ class TestTracedCheck:
     def test_parallel_check_adopts_worker_spans(self, system):
         collector = TraceCollector()
         serial_fp = system.check().fingerprint()
+        # The small fabric runs its shards inline, where the module-global
+        # memo cache may be warm from earlier tests' identical rule sets —
+        # and a cache hit legitimately skips the BDD-build span this test
+        # asserts.  Start the round cold.
+        reset_worker_cache()
         report = system.check(parallel=True, max_workers=2, trace=collector)
         assert report.fingerprint() == serial_fp
 

@@ -19,6 +19,7 @@ from repro.faults.injector import FaultInjector
 from repro.online import IncrementalChecker
 from repro.parallel import SerialExecutor, plan_shards
 from repro.parallel.engine import ShardTask, SwitchWorkUnit, run_shard
+from repro.parallel.memo import WORKER_CACHE, reset_worker_cache
 from repro.risk.augment import (
     augment_controller_model,
     augment_controller_model_sharded,
@@ -73,10 +74,10 @@ class TestCheckMany:
 
     def test_process_pool_matches_serial(self, faulty_simulation):
         controller = faulty_simulation.controller
-        system = ScoutSystem(controller)
-        serial = system.check()
-        pooled = system.check(parallel=True, max_workers=2)
-        assert pooled.fingerprint() == serial.fingerprint()
+        with ScoutSystem(controller) as system:
+            serial = system.check()
+            pooled = system.check(parallel=True, max_workers=2)
+            assert pooled.fingerprint() == serial.fingerprint()
 
     def test_plan_is_optional_and_any_shard_count_agrees(self, faulty_simulation):
         controller = faulty_simulation.controller
@@ -111,13 +112,17 @@ class TestCheckMany:
 
 class TestWorkUnits:
     def test_shard_task_round_trips_through_pickle(self):
-        unit = SwitchWorkUnit(
-            switch_uid="leaf-1",
-            logical=tuple(r.match_key() for r in [_rule(80), _rule(443)]),
-            deployed=(_rule(80).match_key(),),
-        )
+        reset_worker_cache()
+        unit = SwitchWorkUnit(switch_uid="leaf-1", logical_ref=0, deployed_ref=1)
         task = ShardTask(
-            units=(unit,), engine="auto", bdd_limit=4000, space_widths=(13, 15, 2, 16)
+            units=(unit,),
+            buffers=(
+                tuple(r.match_key() for r in [_rule(80), _rule(443)]),
+                (_rule(80).match_key(),),
+            ),
+            engine="auto",
+            bdd_limit=4000,
+            space_widths=(13, 15, 2, 16),
         )
         clone = pickle.loads(pickle.dumps(task))
         assert clone == task
@@ -127,25 +132,43 @@ class TestWorkUnits:
         assert outcome.engine == "bdd"
 
     def test_worker_respects_checker_configuration(self):
-        unit = SwitchWorkUnit(
-            switch_uid="leaf-1",
-            logical=tuple(r.match_key() for r in [_rule(p) for p in range(80, 90)]),
-            deployed=tuple(r.match_key() for r in [_rule(p) for p in range(80, 90)]),
-        )
+        reset_worker_cache()
+        # Identical L and T sides share one interned buffer (deployed_ref
+        # aliases logical_ref) — the shard ships the key sequence once.
+        keys = tuple(r.match_key() for r in [_rule(p) for p in range(80, 90)])
         task = ShardTask(
-            units=(unit,), engine="auto", bdd_limit=5, space_widths=(13, 15, 2, 16)
+            units=(SwitchWorkUnit(switch_uid="leaf-1", logical_ref=0, deployed_ref=0),),
+            buffers=(keys,),
+            engine="auto",
+            bdd_limit=5,
+            space_widths=(13, 15, 2, 16),
         )
         (outcome,) = run_shard(task).outcomes
         assert outcome.engine == "hash"  # 20 combined rules > bdd_limit=5
 
+    def test_identical_rule_sets_intern_to_shared_buffers(self):
+        reset_worker_cache()
+        checker = EquivalenceChecker()
+        rules = [_rule(80), _rule(443)]
+        # Three switches, all byte-identical and internally clean: the memo
+        # cache collapses them to ONE real check per shard round.
+        triples = [(f"leaf-{i}", rules, rules) for i in range(3)]
+        report = checker.check_many(triples, executor=SerialExecutor())
+        assert report.equivalent
+        stats = WORKER_CACHE.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+
 
 class TestScoutSystemParallel:
     def test_localize_with_sharded_augmentation_matches_serial(self, faulty_simulation):
-        system = ScoutSystem(faulty_simulation.controller)
-        serial = system.localize(scope="controller")
-        sharded = system.localize(scope="controller", parallel=True, max_workers=3)
-        assert sharded.faulty_objects() == serial.faulty_objects()
-        assert sharded.equivalence.fingerprint() == serial.equivalence.fingerprint()
+        with ScoutSystem(faulty_simulation.controller) as system:
+            serial = system.localize(scope="controller")
+            sharded = system.localize(scope="controller", parallel=True, max_workers=3)
+            assert sharded.faulty_objects() == serial.faulty_objects()
+            assert (
+                sharded.equivalence.fingerprint() == serial.equivalence.fingerprint()
+            )
 
     def test_sharded_augmentation_builds_the_same_model(self, faulty_simulation):
         deployed = faulty_simulation
