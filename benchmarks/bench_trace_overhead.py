@@ -11,11 +11,17 @@ that contract on the same modify→refresh loop ``bench_online.py`` times:
 * **disabled** — a ``TraceCollector(enabled=False)`` is active, so every
   instrumented call reaches the collector check and bails;
 * **enabled** — a recording collector, to document the (acceptable,
-  un-gated) price of actually tracing.
+  un-gated) price of actually tracing;
+* **recorder** — a recording collector plus an installed
+  :class:`~repro.obs.recorder.FlightRecorder` (span sink feeding its
+  bounded ring), the configuration the service daemon runs in steady
+  state.
 
-The gate: the *disabled* median must be within ``OVERHEAD_CEILING`` of
-the baseline.  Rounds for the three modes are interleaved so clock drift
-and cache warmth hit all of them equally.
+Two gates: the *disabled* median must be within ``OVERHEAD_CEILING`` of
+the baseline, and the *recorder* median must be within
+``RECORDER_CEILING`` of plain enabled tracing — the black box may not
+make tracing itself expensive.  Rounds for the four modes are interleaved
+so clock drift and cache warmth hit all of them equally.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ import statistics
 import time
 
 from repro.experiments import prepare_workload
-from repro.obs import TraceCollector, activated
+from repro.obs import FlightRecorder, TraceCollector, activated, recording
 from repro.online import IncrementalChecker
 from repro.policy.objects import Filter, FilterEntry, ObjectType
 from repro.protocol import Operation
@@ -33,6 +39,7 @@ from repro.workloads import simulation_profile
 from conftest import emit_bench_json, full_scale, lax
 
 OVERHEAD_CEILING = 1.05
+RECORDER_CEILING = 1.05
 
 
 def _modified(target, port):
@@ -55,7 +62,7 @@ def test_disabled_tracing_overhead_on_incremental_refresh():
     checker.bootstrap()
 
     rounds = 15 if full_scale() else 9
-    times = {"baseline": [], "disabled": [], "enabled": []}
+    times = {"baseline": [], "disabled": [], "enabled": [], "recorder": []}
     disabled_collector = TraceCollector(enabled=False)
 
     def one_refresh(port):
@@ -82,12 +89,20 @@ def test_disabled_tracing_overhead_on_incremental_refresh():
         enabled_collector = TraceCollector()
         with activated(enabled_collector):
             times["enabled"].append(one_refresh(port))
+        port += 1
+        recorded_collector = TraceCollector()
+        flight_recorder = FlightRecorder()
+        recorded_collector.add_sink(flight_recorder.record_span)
+        with activated(recorded_collector), recording(flight_recorder):
+            times["recorder"].append(one_refresh(port))
 
     baseline = statistics.median(times["baseline"])
     disabled = statistics.median(times["disabled"])
     enabled = statistics.median(times["enabled"])
+    recorder = statistics.median(times["recorder"])
     overhead_ratio = disabled / baseline
     enabled_ratio = enabled / baseline
+    recorder_ratio = recorder / enabled
     spans_per_refresh = len(enabled_collector)
 
     print()
@@ -100,12 +115,20 @@ def test_disabled_tracing_overhead_on_incremental_refresh():
         f"refresh, recording collector: {enabled * 1e3:8.3f} ms "
         f"({enabled_ratio:.3f}x, {spans_per_refresh} span(s)/refresh)"
     )
+    print(
+        f"refresh, + flight recorder:   {recorder * 1e3:8.3f} ms "
+        f"({recorder_ratio:.3f}x vs enabled)"
+    )
 
     # REPRO_BENCH_LAX=1 records the ratio without gating (shared runners).
     if not lax():
         assert overhead_ratio < OVERHEAD_CEILING, (
             f"disabled tracing costs {(overhead_ratio - 1) * 100:.1f}% on the "
             f"incremental refresh path (ceiling {(OVERHEAD_CEILING - 1) * 100:.0f}%)"
+        )
+        assert recorder_ratio < RECORDER_CEILING, (
+            f"the flight recorder costs {(recorder_ratio - 1) * 100:.1f}% on top "
+            f"of enabled tracing (ceiling {(RECORDER_CEILING - 1) * 100:.0f}%)"
         )
 
     emit_bench_json(
@@ -116,9 +139,12 @@ def test_disabled_tracing_overhead_on_incremental_refresh():
             "baseline_seconds": baseline,
             "disabled_seconds": disabled,
             "enabled_seconds": enabled,
+            "recorder_seconds": recorder,
             "overhead_ratio": overhead_ratio,
             "enabled_ratio": enabled_ratio,
+            "recorder_ratio": recorder_ratio,
             "overhead_ceiling": OVERHEAD_CEILING,
+            "recorder_ceiling": RECORDER_CEILING,
             "spans_per_refresh": spans_per_refresh,
             "floor_enforced": not lax(),
         },

@@ -26,7 +26,7 @@ from ..core.system import ScoutReport, ScoutSystem
 from ..faults.base import FaultKind
 from ..faults.injector import FaultInjector
 from ..faults.physical import make_switch_unresponsive
-from ..obs import span
+from ..obs import correlated, span
 from ..online.delta import IncrementalChecker
 from ..verify.checker import EquivalenceReport
 from ..workloads.generator import GeneratedWorkload, generate_workload
@@ -352,7 +352,7 @@ def run_cell(cell: CampaignCell) -> CellResult:
     """Run one cell hermetically and return its :class:`CellResult`."""
     start = time.perf_counter()
 
-    with span("campaign.cell", cell=cell.cell_id):
+    with correlated(prefix="cell"), span("campaign.cell", cell=cell.cell_id):
         if cell.fault.kind == "churn":
             return _run_churn_cell(cell, start)
 

@@ -49,7 +49,7 @@ from ..fabric.switch import AgentState
 from ..faults.base import FaultKind
 from ..faults.injector import FaultInjector
 from ..faults.physical import make_switch_unresponsive, restore_switch
-from ..obs import span
+from ..obs import correlated, dump_flightrecord, span
 from ..online.monitor import NetworkMonitor
 from ..policy.objects import Contract, Epg, Filter, FilterEntry
 from ..protocol import DeliveryStatus, Instruction, Operation
@@ -396,7 +396,7 @@ class ChurnDriver:
         """
         if not isinstance(event, Checkpoint):
             self._events_seen += 1
-        with span(f"churn.{event.kind}", seq=event.seq):
+        with correlated(prefix="churn"), span(f"churn.{event.kind}", seq=event.seq):
             self._expire_drains()
             if isinstance(event, PolicyAdd):
                 return self._apply_add(event)
@@ -679,6 +679,15 @@ class ChurnDriver:
             ),
         )
         self._last_checkpoint = record
+        if not record.ok:
+            # Dump before the strict raise so the black box captures the
+            # events leading up to the divergence, strict mode or not.
+            dump_flightrecord(
+                "churn-divergence",
+                seq=seq,
+                diverged=record.diverged,
+                incidents_consistent=record.incidents_consistent,
+            )
         if self.strict and not record.ok:
             problems = []
             if record.diverged:

@@ -16,9 +16,24 @@ Quick start::
 Instrumented code calls :func:`span` unconditionally; when no collector is
 active the call returns a shared no-op object, so tracing costs almost
 nothing when disabled.
+
+Beyond profiling, the package carries the operator-debugging layer:
+:mod:`~repro.obs.corr` (correlation ids propagated onto every span),
+:mod:`~repro.obs.recorder` (the flight recorder dumped when something
+breaks), and :mod:`~repro.obs.health` (component health + SLO burn rates).
 """
 
+from .corr import correlated, current_corr_id, new_corr_id, set_corr_id
 from .export import chrome_trace, read_jsonl, span_dicts, write_chrome, write_jsonl
+from .health import ComponentHealth, HealthRegistry, HealthStatus, SloTracker
+from .recorder import (
+    FlightRecorder,
+    current_recorder,
+    dump_flightrecord,
+    format_flightrecord,
+    record_event,
+    recording,
+)
 from .report import (
     StageStat,
     attribution,
@@ -40,18 +55,32 @@ from .trace import (
 
 __all__ = [
     "NOOP_SPAN",
+    "ComponentHealth",
+    "FlightRecorder",
+    "HealthRegistry",
+    "HealthStatus",
+    "SloTracker",
     "Span",
     "StageStat",
     "TraceCollector",
     "activated",
     "attribution",
     "chrome_trace",
+    "correlated",
     "current",
+    "current_corr_id",
+    "current_recorder",
+    "dump_flightrecord",
     "format_attribution",
+    "format_flightrecord",
     "format_stage_breakdown",
     "install",
+    "new_corr_id",
     "parallel_stage_breakdown",
     "read_jsonl",
+    "record_event",
+    "recording",
+    "set_corr_id",
     "span",
     "span_dicts",
     "traced",

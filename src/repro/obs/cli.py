@@ -1,6 +1,6 @@
 """``repro-trace``: run a traced workload and print an attribution report.
 
-Two subcommands:
+Three subcommands:
 
 * ``check`` — deploy a profile, run the SCOUT pipeline under a collector
   and print the stage → total/self time table.  ``--chrome``/``--jsonl``
@@ -13,6 +13,10 @@ Two subcommands:
   wall time.  ``--json`` writes the same breakdown as machine-readable
   JSON (the shape ``benchmarks/bench_parallel.py`` embeds in
   ``BENCH_parallel.json``).
+* ``flightrecord`` — pretty-print a dumped black-box bundle (from
+  ``GET /incidents/{id}/flightrecord`` or the service logs): trigger,
+  correlation id, the buffered span tree, and the events leading up to
+  the dump.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from ..core.system import ScoutSystem
 from ..workloads.generator import generate_workload
 from ..workloads.profiles import profile_names, resolve_profile
 from .export import write_chrome, write_jsonl
+from .recorder import format_flightrecord
 from .report import (
     attribution,
     format_attribution,
@@ -119,6 +124,19 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _cmd_flightrecord(args: argparse.Namespace) -> int:
+    with open(args.path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    # Accept both a bare bundle and the service's {"flightrecord": {...}}
+    # response envelope, so a curl output file works unmodified.
+    bundle = payload.get("flightrecord", payload) if isinstance(payload, dict) else None
+    if not isinstance(bundle, dict) or "trigger" not in bundle:
+        print(f"[repro-trace] {args.path}: not a flight-record bundle")
+        return 1
+    print(format_flightrecord(bundle, max_events=args.events))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-trace",
@@ -148,6 +166,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     par.add_argument("--workers", type=int, default=4, help="parallel workers")
     par.add_argument("--json", default=None, help="write the breakdown JSON here")
     par.set_defaults(func=_cmd_parallel)
+
+    flight = commands.add_parser(
+        "flightrecord",
+        help="pretty-print a dumped flight-recorder black-box bundle",
+    )
+    flight.add_argument("path", help="JSON bundle file (bare or service envelope)")
+    flight.add_argument(
+        "--events",
+        type=int,
+        default=10,
+        help="how many trailing events to show (default 10)",
+    )
+    flight.set_defaults(func=_cmd_flightrecord)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,161 @@
+"""Component health registry and rolling-window SLO tracking.
+
+Two small primitives back ``GET /health`` and ``GET /slo``:
+
+:class:`HealthRegistry` holds named probe callables — monitor lag, pool
+respawn rate, job-queue depth, memo-cache hit rate, bus backlog — each
+returning a :class:`ComponentHealth`.  Probes run at read time (a health
+check that reports cached state is a health check that lies during an
+outage), and a probe that *raises* is itself a failing component.
+
+:class:`SloTracker` keeps one bounded deque of boolean outcomes per
+objective (request served non-5xx, job succeeded, monitor drained its
+backlog) and derives window attainment plus the **burn rate**: the ratio of
+the observed error rate to the error budget the target allows.  Burn rate
+``1.0`` means the budget is being spent exactly as fast as it accrues;
+``> 2`` means the window is failing the objective outright.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+__all__ = ["ComponentHealth", "HealthRegistry", "HealthStatus", "SloTracker"]
+
+
+class HealthStatus(str, Enum):
+    OK = "ok"
+    DEGRADED = "degraded"
+    FAILING = "failing"
+
+    @property
+    def code(self) -> int:
+        """Numeric severity for the ``repro_health_status`` gauge (0/1/2)."""
+        return _SEVERITY[self]
+
+
+_SEVERITY = {HealthStatus.OK: 0, HealthStatus.DEGRADED: 1, HealthStatus.FAILING: 2}
+
+
+@dataclass
+class ComponentHealth:
+    """One component's verdict plus the numbers that justify it."""
+
+    name: str
+    status: HealthStatus
+    detail: str = ""
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status.value,
+            "detail": self.detail,
+            "metrics": dict(self.metrics),
+        }
+
+
+class HealthRegistry:
+    """Named live probes; the overall status is the worst component's."""
+
+    def __init__(self) -> None:
+        self._probes: Dict[str, Callable[[], ComponentHealth]] = {}
+
+    def register(self, name: str, probe: Callable[[], ComponentHealth]) -> None:
+        self._probes[name] = probe
+
+    def names(self) -> List[str]:
+        return sorted(self._probes)
+
+    def probe(self, name: str) -> ComponentHealth:
+        """Run one probe; a raising probe is a FAILING component, not a 500."""
+        try:
+            return self._probes[name]()
+        except KeyError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - fold into the verdict
+            return ComponentHealth(
+                name=name,
+                status=HealthStatus.FAILING,
+                detail=f"probe raised: {exc!r}",
+            )
+
+    def report(self) -> Dict[str, Any]:
+        components = [self.probe(name) for name in self.names()]
+        worst = max(
+            (component.status for component in components),
+            key=lambda status: status.code,
+            default=HealthStatus.OK,
+        )
+        return {
+            "status": worst.value,
+            "components": {c.name: c.to_dict() for c in components},
+        }
+
+
+class SloTracker:
+    """Rolling-window service-level objectives with burn-rate status."""
+
+    def __init__(self, window: int = 512) -> None:
+        self._window = window
+        self._targets: Dict[str, float] = {}
+        self._descriptions: Dict[str, str] = {}
+        self._outcomes: Dict[str, Deque[bool]] = {}
+
+    def define(self, name: str, target: float, description: str = "") -> None:
+        if not 0.0 < target < 1.0:
+            raise ValueError(f"SLO target must be in (0, 1), got {target!r}")
+        self._targets[name] = target
+        self._descriptions[name] = description
+        self._outcomes.setdefault(name, deque(maxlen=self._window))
+
+    def names(self) -> List[str]:
+        return sorted(self._targets)
+
+    def target(self, name: str) -> float:
+        return self._targets[name]
+
+    def record(self, name: str, ok: bool) -> None:
+        """Record one outcome; unknown names are dropped so call sites stay
+        decoupled from which objectives the service chose to define."""
+        outcomes = self._outcomes.get(name)
+        if outcomes is not None:
+            outcomes.append(bool(ok))
+
+    def attainment(self, name: str) -> float:
+        """Fraction of good outcomes in the window; 1.0 when still empty."""
+        outcomes = self._outcomes[name]
+        if not outcomes:
+            return 1.0
+        return sum(outcomes) / len(outcomes)
+
+    def burn_rate(self, name: str) -> float:
+        """Observed error rate over the error budget (``1 - target``)."""
+        budget = 1.0 - self._targets[name]
+        return (1.0 - self.attainment(name)) / budget
+
+    def status(self, name: str) -> HealthStatus:
+        burn = self.burn_rate(name)
+        if burn > 2.0:
+            return HealthStatus.FAILING
+        if burn > 1.0:
+            return HealthStatus.DEGRADED
+        return HealthStatus.OK
+
+    def snapshot(self, name: Optional[str] = None) -> Dict[str, Any]:
+        """JSON form of one SLO, or of all of them keyed by name."""
+        if name is not None:
+            outcomes = self._outcomes[name]
+            return {
+                "name": name,
+                "description": self._descriptions[name],
+                "target": self._targets[name],
+                "window": len(outcomes),
+                "attainment": self.attainment(name),
+                "burn_rate": self.burn_rate(name),
+                "status": self.status(name).value,
+            }
+        return {slo: self.snapshot(slo) for slo in self.names()}

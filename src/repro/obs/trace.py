@@ -46,6 +46,8 @@ from typing import (
     Union,
 )
 
+from .corr import current_corr_id
+
 __all__ = [
     "NOOP_SPAN",
     "Span",
@@ -129,6 +131,9 @@ class Span:
         if stack:
             self.parent_id = stack[-1].span_id
         stack.append(self)
+        corr = current_corr_id()
+        if corr is not None and "corr_id" not in self.attrs:
+            self.attrs["corr_id"] = corr
         self.start = time.perf_counter()
         return self
 
@@ -274,10 +279,13 @@ class TraceCollector:
         re-parented under ``parent`` when given.
         """
         parent_id = parent.span_id if isinstance(parent, Span) else parent
+        corr = current_corr_id()
         id_map: Dict[int, int] = {}
         adopted: List[Span] = []
         for payload in payloads:
             restored = Span.from_dict(payload, self)
+            if corr is not None and "corr_id" not in restored.attrs:
+                restored.attrs["corr_id"] = corr
             id_map[restored.span_id] = next(self._ids)
             adopted.append(restored)
         for restored in adopted:

@@ -49,6 +49,9 @@ class Incident:
     fault_codes: List[str] = field(default_factory=list)
     #: How many times the violation changed after the incident opened.
     updates: int = 0
+    #: Correlation id of the poll/request that opened the incident — the
+    #: thread that ties it to spans, log lines and the flight record.
+    corr_id: Optional[str] = None
 
     @property
     def is_open(self) -> bool:
@@ -79,6 +82,7 @@ class Incident:
             "suspects": list(self.suspects),
             "fault_codes": list(self.fault_codes),
             "updates": self.updates,
+            "corr_id": self.corr_id,
         }
 
     @classmethod
@@ -106,6 +110,7 @@ class Incident:
             suspects=list(data.get("suspects", ())),
             fault_codes=list(data.get("fault_codes", ())),
             updates=data.get("updates", 0),
+            corr_id=data.get("corr_id"),
         )
 
 
@@ -129,6 +134,7 @@ class IncidentStore:
         missing_rules: int = 0,
         extra_rules: int = 0,
         suspects: Optional[List[str]] = None,
+        corr_id: Optional[str] = None,
     ) -> Incident:
         """Open a new incident for ``switch_uid`` (which must have none open)."""
         if switch_uid in self._active_by_switch:
@@ -142,6 +148,7 @@ class IncidentStore:
             missing_rules=missing_rules,
             extra_rules=extra_rules,
             suspects=sorted(suspects or ()),
+            corr_id=corr_id,
         )
         self._incidents[incident.incident_id] = incident
         self._active_by_switch[switch_uid] = incident.incident_id

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Set
 
 from ..controller.controller import Controller
 from ..core.hypothesis import Hypothesis
-from ..obs import span
+from ..obs import correlated, current_corr_id, span
 from ..core.scout import RecentChangeOracle, ScoutLocalizer
 from ..risk.augment import augment_switch_model
 from ..risk.switch_model import build_switch_risk_model
@@ -99,6 +99,7 @@ class NetworkMonitor:
         debounce_ticks: int = 1,
         max_wait_ticks: Optional[int] = None,
         change_window: int = 100,
+        max_workers: Optional[int] = None,
     ) -> None:
         self.controller = controller
         self.clock = controller.clock
@@ -110,6 +111,10 @@ class NetworkMonitor:
             )
         )
         self.store = store or IncidentStore()
+        #: Worker budget for refresh passes.  ``None`` keeps every recheck
+        #: inline; a value lets large blast radii use the sharded engine
+        #: (small ones still run inline via its small-fabric cutoff).
+        self.max_workers = max_workers
         self.debounce_ticks = debounce_ticks
         #: Upper bound on how long a pending batch may wait for the burst to
         #: settle; without it, a steady event stream would starve the monitor
@@ -223,15 +228,22 @@ class NetworkMonitor:
         events = self._pending
         self._pending = []
         self._first_event_at = None
-        with span("monitor.poll", events=len(events)) as poll_span:
-            fault_codes: Dict[str, Set[str]] = {}
-            for event in events:
-                if isinstance(event, DeviceFault):
-                    fault_codes.setdefault(event.device_uid, set()).add(event.code.value)
-            refreshed = self.delta.refresh()
-            result = MonitorPass(triggered_at=now, events=len(events))
-            self._apply_results(refreshed, result, fault_codes)
-            poll_span.count("rechecked", len(result.switches_rechecked))
+        # The correlated() wrapper opens before the span so the poll span and
+        # everything beneath it — localization, worker shards, the incident
+        # the pass may open — share one id (the caller's, when an HTTP
+        # request triggered the poll; a fresh "poll-..." id otherwise).
+        with correlated(prefix="poll"):
+            with span("monitor.poll", events=len(events)) as poll_span:
+                fault_codes: Dict[str, Set[str]] = {}
+                for event in events:
+                    if isinstance(event, DeviceFault):
+                        fault_codes.setdefault(event.device_uid, set()).add(
+                            event.code.value
+                        )
+                refreshed = self.delta.refresh(max_workers=self.max_workers)
+                result = MonitorPass(triggered_at=now, events=len(events))
+                self._apply_results(refreshed, result, fault_codes)
+                poll_span.count("rechecked", len(result.switches_rechecked))
         self.passes.append(result)
         return result
 
@@ -256,6 +268,7 @@ class NetworkMonitor:
                         missing_rules=result.missing_count(),
                         extra_rules=len(result.extra_rules),
                         suspects=suspects,
+                        corr_id=current_corr_id(),
                     )
                     monitor_pass.opened.append(incident)
                 elif (

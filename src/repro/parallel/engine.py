@@ -32,10 +32,11 @@ evaluated the BDD.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
-from ..obs import TraceCollector, activated, current, span
+from ..obs import TraceCollector, activated, correlated, current, current_corr_id, span
 from ..rules import MatchKey, TcamRule
 from ..verify.checker import EquivalenceChecker, EquivalenceReport, SwitchCheckResult
 from ..verify.encoding import RuleSpace
@@ -99,6 +100,9 @@ class ShardTask:
     #: When true the worker records spans for its own stages (digest+lookup,
     #: check, serialize) and ships them back inside the ShardResult.
     trace: bool = False
+    #: The dispatching context's correlation id, shipped so worker-side spans
+    #: carry the same identity as the request/poll that caused them.
+    corr_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -173,7 +177,11 @@ def run_shard(task: ShardTask) -> ShardResult:
     """
     collector = TraceCollector(enabled=task.trace)
     config = (task.engine, task.bdd_limit, task.space_widths)
-    with activated(collector):
+    # Restore the dispatcher's correlation id so worker spans are stamped at
+    # birth.  Without one, leave the context alone: the parent's adopt() then
+    # stamps its own ambient id, and a worker-minted id would shadow it.
+    context = correlated(task.corr_id) if task.corr_id is not None else nullcontext()
+    with activated(collector), context:
         with span("worker.shard", switches=len(task.units)) as shard_span:
             with span("worker.unpickle"):
                 digests = tuple(ruleset_digest(buffer) for buffer in task.buffers)
@@ -358,6 +366,7 @@ def check_switches(
                         bdd_limit=checker.bdd_limit,
                         space_widths=_space_widths(checker.rule_space),
                         trace=tracing,
+                        corr_id=current_corr_id(),
                     )
                 )
         build_span.count("shards", len(tasks))

@@ -40,6 +40,7 @@ import queue
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..obs.recorder import dump_flightrecord, record_event
 from .memo import reset_worker_cache
 from .shards import clamp_workers
 
@@ -153,6 +154,10 @@ class WarmWorkerPool:
         stale.outbox.close()
         self._handles[position] = self._spawn()
         self.respawns += 1
+        # No-ops unless a flight recorder is installed (the service daemon);
+        # a dead worker is exactly the moment the black box exists for.
+        record_event("pool.respawn", position=position, respawns=self.respawns)
+        dump_flightrecord("worker-respawn", position=position)
 
     def shutdown(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
         """Stop every worker and drop the warm state; idempotent."""

@@ -27,9 +27,22 @@ POST    ``/monitor/poll``                  process due events (``{"force": true}
 GET     ``/monitor/status``                monitor stats + pending events
 POST    ``/monitor/start``                 attach + baseline (409 when running)
 POST    ``/monitor/stop``                  detach (409 when stopped)
+GET     ``/incidents/{incident_id}/flightrecord``  black-box bundle for one incident
+GET     ``/health``                        component health (worst-of rollup)
+GET     ``/slo``                           SLO attainment + burn rates
 GET     ``/metrics``                       Prometheus text exposition
 GET     ``/traces``                        stage attribution + recent spans
 ======  =================================  =====================================
+
+Every request runs under a **correlation id** (honoring an inbound
+``X-Repro-Corr-Id`` header, minting a ``req-...`` id otherwise) that is
+stamped on every span the request produces — including worker-process spans
+adopted across the pool boundary — on any incident the request's monitor
+poll opens, and on the ``X-Repro-Corr-Id`` response header.  A
+:class:`~repro.obs.recorder.FlightRecorder` rides along: bounded rings of
+recent spans/events/metric deltas, dumped as a black-box bundle whenever an
+incident opens, a warm worker respawns, a churn checkpoint diverges, or a
+handler 500s.
 
 The service is transport-independent (see :mod:`.http`): the same instance
 serves unit tests through :class:`~repro.service.testing.TestClient` and
@@ -45,8 +58,23 @@ from ..campaign.spec import CampaignSpec
 from ..churn.driver import ChurnDriver
 from ..controller.controller import Controller
 from ..core.system import ScoutSystem
-from ..obs import Span, TraceCollector, activated, attribution
-from ..online.incidents import IncidentStatus
+from ..obs import (
+    ComponentHealth,
+    FlightRecorder,
+    HealthRegistry,
+    HealthStatus,
+    SloTracker,
+    Span,
+    TraceCollector,
+    activated,
+    attribution,
+    correlated,
+    new_corr_id,
+    recording,
+    span,
+)
+from ..online.events import Event
+from ..online.incidents import Incident, IncidentStatus
 from ..online.monitor import NetworkMonitor
 from ..workloads.churn_profiles import churn_profile_for
 from ..workloads.generator import generate_workload
@@ -111,7 +139,10 @@ class ScoutService:
         self.controller = controller
         self.name = name
         self.system = system or ScoutSystem(controller)
-        self.monitor = monitor or NetworkMonitor(controller)
+        # max_workers=2 routes monitor refreshes through the sharded engine
+        # (still inline below its small-fabric cutoff), so poll traces carry
+        # the adopted worker.* spans operators debug incidents with.
+        self.monitor = monitor or NetworkMonitor(controller, max_workers=2)
         self.store = self.monitor.store
         self.metrics = MetricsRegistry()
         # One long-lived collector for the whole service: every request and
@@ -120,6 +151,16 @@ class ScoutService:
         # latency quantiles even after the span buffer rolls over.
         self.tracer = TraceCollector(enabled=tracing, max_spans=20_000)
         self.tracer.add_sink(self._record_stage)
+        # The flight recorder rides every request and job: spans via a
+        # collector sink, metric deltas via the registry observer, bus
+        # traffic via a subscriber — all bounded rings, dumped on failure.
+        self.recorder = FlightRecorder()
+        self.tracer.add_sink(self.recorder.record_span)
+        self.metrics.set_observer(self._observe_metric)
+        self.monitor.bus.subscribe(self._record_bus_event)
+        self.health = HealthRegistry()
+        self.slo = SloTracker()
+        self._register_health()
         self.queue = AuditQueue(self._run_audit, sync=sync_audits, metrics=self.metrics)
         # Campaigns execute inline by default: the route is a synchronous
         # sweep gate (a probe POSTs a small grid and reads the fingerprint
@@ -156,7 +197,11 @@ class ScoutService:
     def start(self) -> None:
         """Attach the monitor (bootstrap sweep) if it is not already running."""
         if not self.monitor.running:
-            self.monitor.start()
+            with activated(self.tracer), recording(self.recorder):
+                with correlated(prefix="boot"):
+                    self.monitor.start()
+            for incident in self.store.active():
+                self._dump_incident_open(incident)
 
     def close(self) -> None:
         """Stop the job workers, detach the monitor, release worker pools."""
@@ -170,9 +215,27 @@ class ScoutService:
     # Dispatch
     # ------------------------------------------------------------------ #
     def handle(self, request: Request) -> Response:
-        """The single entry point both the WSGI app and the test client use."""
-        with activated(self.tracer):
-            response = self.router.dispatch(request)
+        """The single entry point both the WSGI app and the test client use.
+
+        An inbound ``X-Repro-Corr-Id`` header joins the caller's trail;
+        otherwise a fresh ``req-...`` id is minted.  Everything the request
+        does — dispatch, monitor polls, worker shards, incident opens —
+        runs under that id, and the response echoes it back.
+        """
+        corr_id = request.header("x-repro-corr-id") or new_corr_id("req")
+        with correlated(corr_id), activated(self.tracer), recording(self.recorder):
+            with span("http.request", method=request.method.upper(), path=request.path):
+                response = self.router.dispatch(request)
+            self.slo.record("http-availability", response.status < 500)
+            if response.status >= 500:
+                self.recorder.dump(
+                    "http-500",
+                    corr_id=corr_id,
+                    method=request.method.upper(),
+                    path=request.path,
+                    status=response.status,
+                )
+        response.headers.setdefault("X-Repro-Corr-Id", corr_id)
         self.metrics.inc(
             "repro_http_requests_total",
             labels={"method": request.method.upper(), "status": str(response.status)},
@@ -188,6 +251,32 @@ class ScoutService:
             labels={"stage": finished.name},
             help="Pipeline stage latency, by span name.",
         )
+
+    def _observe_metric(
+        self, name: str, value: float, labels: Optional[Dict[str, str]]
+    ) -> None:
+        """Registry observer: metric deltas feed the recorder and job SLOs."""
+        self.recorder.record_metric(name, value, labels)
+        if name.endswith("_jobs_total") and labels and "status" in labels:
+            self.slo.record("job-success", labels["status"] == "done")
+
+    def _record_bus_event(self, event: Event) -> None:
+        """Bus subscriber: every fabric/policy event lands in the black box."""
+        self.recorder.record_event(
+            "bus." + type(event).__name__,
+            detail=event.describe(),
+            timestamp=event.timestamp,
+        )
+
+    def _dump_incident_open(self, incident: Incident) -> None:
+        """Snapshot the black box for a newly opened incident (idempotent)."""
+        if self.recorder.record_for_incident(incident.incident_id) is None:
+            self.recorder.dump(
+                "incident-open",
+                corr_id=incident.corr_id,
+                incident_id=incident.incident_id,
+                switch=incident.switch_uid,
+            )
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -207,6 +296,9 @@ class ScoutService:
         add("GET", "/incidents", self._list_incidents)
         add("GET", "/incidents/{incident_id}", self._get_incident)
         add("POST", "/incidents/{incident_id}/resolve", self._resolve_incident)
+        add("GET", "/incidents/{incident_id}/flightrecord", self._get_flightrecord)
+        add("GET", "/health", self._get_health)
+        add("GET", "/slo", self._get_slo)
         add("POST", "/monitor/poll", self._post_monitor_poll)
         add("GET", "/monitor/status", self._get_monitor_status)
         add("POST", "/monitor/start", self._post_monitor_start)
@@ -241,6 +333,162 @@ class ScoutService:
             lambda: float(len(self.controller.fabric.switches)),
             help="Switches in the monitored fabric.",
         )
+        for component in self.health.names():
+            gauge(
+                "repro_health_status",
+                lambda name=component: float(self.health.probe(name).status.code),
+                help="Component health (0=ok, 1=degraded, 2=failing).",
+                labels={"component": component},
+            )
+        for objective in self.slo.names():
+            gauge(
+                "repro_slo_attainment",
+                lambda name=objective: self.slo.attainment(name),
+                help="Rolling-window SLO attainment, by objective.",
+                labels={"slo": objective},
+            )
+            gauge(
+                "repro_slo_burn_rate",
+                lambda name=objective: self.slo.burn_rate(name),
+                help="Error-budget burn rate (1.0 = spending exactly the budget).",
+                labels={"slo": objective},
+            )
+            gauge(
+                "repro_slo_target",
+                lambda name=objective: self.slo.target(name),
+                help="Configured SLO target, by objective.",
+                labels={"slo": objective},
+            )
+
+    def _register_health(self) -> None:
+        """Wire the component probes and define the service's objectives."""
+        self.health.register("monitor", self._probe_monitor)
+        self.health.register("worker-pool", self._probe_worker_pool)
+        self.health.register("job-queues", self._probe_job_queues)
+        self.health.register("memo-cache", self._probe_memo_cache)
+        self.health.register("bus", self._probe_bus)
+        self.slo.define(
+            "http-availability",
+            0.999,
+            "Requests answered below HTTP 500.",
+        )
+        self.slo.define("job-success", 0.99, "Jobs reaching the done state.")
+        self.slo.define(
+            "monitor-freshness",
+            0.95,
+            "Polls leaving no event backlog behind.",
+        )
+
+    def _pool_stats(self) -> Dict:
+        """Merged lifetime stats over every live warm pool (system + monitor)."""
+        merged = {"workers": 0, "rounds": 0, "respawns": 0, "hits": 0, "misses": 0}
+        for owner in (self.system, self.monitor.delta):
+            pool = getattr(owner, "_pool", None)
+            if pool is None or pool.closed:
+                continue
+            stats = pool.stats()
+            merged["workers"] += stats["workers"]
+            merged["rounds"] += stats["rounds"]
+            merged["respawns"] += stats["respawns"]
+            merged["hits"] += stats["cache_hits"]
+            merged["misses"] += stats["cache_misses"]
+        return merged
+
+    def _probe_monitor(self) -> ComponentHealth:
+        pending = self.monitor.pending_events()
+        if not self.monitor.running:
+            status, detail = HealthStatus.FAILING, "monitor is not running"
+        elif pending > 50:
+            status = HealthStatus.DEGRADED
+            detail = f"{pending} events backlogged past the debounce window"
+        else:
+            status, detail = HealthStatus.OK, "attached and keeping up"
+        return ComponentHealth(
+            name="monitor",
+            status=status,
+            detail=detail,
+            metrics={
+                "running": self.monitor.running,
+                "pending_events": pending,
+                "passes": len(self.monitor.passes),
+            },
+        )
+
+    def _probe_worker_pool(self) -> ComponentHealth:
+        stats = self._pool_stats()
+        respawn_rate = stats["respawns"] / stats["rounds"] if stats["rounds"] else 0.0
+        if stats["respawns"] and respawn_rate > 0.5:
+            status = HealthStatus.FAILING
+            detail = f"workers dying faster than rounds complete ({respawn_rate:.2f})"
+        elif stats["respawns"]:
+            status = HealthStatus.DEGRADED
+            detail = f"{stats['respawns']} respawn(s) over {stats['rounds']} round(s)"
+        else:
+            status = HealthStatus.OK
+            detail = (
+                "no worker loss"
+                if stats["workers"]
+                else "no warm pool active (inline execution)"
+            )
+        return ComponentHealth(
+            name="worker-pool",
+            status=status,
+            detail=detail,
+            metrics={**stats, "respawn_rate": respawn_rate},
+        )
+
+    def _probe_job_queues(self) -> ComponentHealth:
+        depth = self.queue.pending() + self.campaigns.pending() + self.churn.pending()
+        if depth > 64:
+            status, detail = HealthStatus.FAILING, f"{depth} jobs backed up"
+        elif depth > 8:
+            status, detail = HealthStatus.DEGRADED, f"{depth} jobs waiting"
+        else:
+            status, detail = HealthStatus.OK, "queues draining"
+        return ComponentHealth(
+            name="job-queues",
+            status=status,
+            detail=detail,
+            metrics={
+                "pending": depth,
+                "audit_pending": self.queue.pending(),
+                "campaign_pending": self.campaigns.pending(),
+                "churn_pending": self.churn.pending(),
+            },
+        )
+
+    def _probe_memo_cache(self) -> ComponentHealth:
+        stats = self._pool_stats()
+        total = stats["hits"] + stats["misses"]
+        hit_rate = stats["hits"] / total if total else 0.0
+        if total >= 100 and hit_rate < 0.1:
+            status = HealthStatus.DEGRADED
+            detail = f"warm cache barely hitting ({hit_rate:.0%})"
+        else:
+            status = HealthStatus.OK
+            detail = f"hit rate {hit_rate:.0%}" if total else "no pooled rounds yet"
+        return ComponentHealth(
+            name="memo-cache",
+            status=status,
+            detail=detail,
+            metrics={"hits": stats["hits"], "misses": stats["misses"]},
+        )
+
+    def _probe_bus(self) -> ComponentHealth:
+        backlog = self.monitor.pending_events()
+        seen = self.monitor.bus.total_events()
+        status = HealthStatus.DEGRADED if backlog > 100 else HealthStatus.OK
+        detail = (
+            f"{backlog} events awaiting a pass"
+            if backlog
+            else f"{seen} event(s) dispatched"
+        )
+        return ComponentHealth(
+            name="bus",
+            status=status,
+            detail=detail,
+            metrics={"events_seen": seen, "backlog": backlog},
+        )
 
     # ------------------------------------------------------------------ #
     # Handlers: health
@@ -255,6 +503,14 @@ class ScoutService:
             "open_incidents": len(self.store.active()),
         }
 
+    def _get_health(self, request: Request) -> Dict:
+        """Component health: every probe runs live, worst status wins."""
+        return self.health.report()
+
+    def _get_slo(self, request: Request) -> Dict:
+        """SLO attainment, burn rate and status per defined objective."""
+        return {"slos": self.slo.snapshot()}
+
     # ------------------------------------------------------------------ #
     # Handlers: audits
     # ------------------------------------------------------------------ #
@@ -265,13 +521,14 @@ class ScoutService:
         collector activation does not reach — re-activate it here so job
         spans land in the same trace as request spans.
         """
-        with activated(self.tracer):
-            report = self.system.localize(
-                scope=params.get("scope", "controller"),
-                correlate=params.get("correlate", True),
-                parallel=params.get("parallel", False),
-                max_workers=params.get("max_workers"),
-            )
+        with activated(self.tracer), recording(self.recorder):
+            with correlated(prefix="job"):
+                report = self.system.localize(
+                    scope=params.get("scope", "controller"),
+                    correlate=params.get("correlate", True),
+                    parallel=params.get("parallel", False),
+                    max_workers=params.get("max_workers"),
+                )
         payload = report.to_dict()
         # Duplicated at the top level so pollers don't have to dig for it.
         payload["fingerprint"] = report.equivalence.fingerprint()
@@ -324,8 +581,9 @@ class ScoutService:
     def _run_campaign(self, params: Dict) -> Dict:
         """Execute one campaign job: run the recorded spec, serialize the report."""
         spec = CampaignSpec.from_dict(params["spec"])
-        with activated(self.tracer):
-            return run_campaign(spec).to_dict()
+        with activated(self.tracer), recording(self.recorder):
+            with correlated(prefix="job"):
+                return run_campaign(spec).to_dict()
 
     def _post_campaign(self, request: Request) -> Response:
         body = request.json_body()
@@ -391,8 +649,9 @@ class ScoutService:
             checkpoint_interval=params.get("checkpoint_interval"),
             strict=False,
         )
-        with activated(self.tracer):
-            return driver.run().to_dict()
+        with activated(self.tracer), recording(self.recorder):
+            with correlated(prefix="job"):
+                return driver.run().to_dict()
 
     def _post_churn(self, request: Request) -> Response:
         body = request.json_body()
@@ -487,6 +746,20 @@ class ScoutService:
         assert resolved is not None  # is_open above guarantees it can close
         return {"incident": resolved.to_dict()}
 
+    def _get_flightrecord(self, request: Request) -> Dict:
+        """The black-box bundle dumped when this incident opened."""
+        incident_id = request.params["incident_id"]
+        incident = self.store.get(incident_id)
+        if incident is None:
+            raise NotFound(f"unknown incident {incident_id!r}")
+        bundle = self.recorder.record_for_incident(incident_id)
+        if bundle is None:
+            raise NotFound(
+                f"no flight record retained for incident {incident_id!r} "
+                "(opened before this daemon, or aged out of the dump store)"
+            )
+        return {"flightrecord": bundle}
+
     # ------------------------------------------------------------------ #
     # Handlers: monitor
     # ------------------------------------------------------------------ #
@@ -495,6 +768,10 @@ class ScoutService:
             raise Conflict("monitor is not running (POST /monitor/start first)")
         force = bool(request.json_body().get("force", False))
         monitor_pass = self.monitor.poll(force=force)
+        if monitor_pass is not None:
+            for incident in monitor_pass.opened:
+                self._dump_incident_open(incident)
+        self.slo.record("monitor-freshness", self.monitor.pending_events() == 0)
         return {
             "pass": monitor_pass.to_dict() if monitor_pass is not None else None,
             "pending_events": self.monitor.pending_events(),
@@ -511,6 +788,8 @@ class ScoutService:
         if self.monitor.running:
             raise Conflict("monitor is already running")
         report = self.monitor.start()
+        for incident in self.store.active():
+            self._dump_incident_open(incident)
         return {"running": True, "baseline": report.summary()}
 
     def _post_monitor_stop(self, request: Request) -> Dict:

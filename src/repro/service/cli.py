@@ -154,6 +154,62 @@ def _self_check(service: ScoutService) -> int:
         missing.status == 404 and missing.json()["error"]["status"] == 404,
     )
 
+    health_report = client.get("/health")
+    check(
+        "GET /health",
+        health_report.status == 200 and "status" in health_report.json(),
+        str(health_report.json().get("status", "")),
+    )
+    slo = client.get("/slo")
+    check("GET /slo", slo.status == 200 and "slos" in slo.json())
+
+    # Force a fault and walk the incident's black box end to end: the poll's
+    # correlation id must tie the HTTP response header, the incident record
+    # and the dumped flight-record bundle together.
+    victim = sorted(service.controller.fabric.leaf_uids())[0]
+    service.controller.fabric.switch(victim).tcam.remove_where(lambda rule: True)
+    service.controller.clock.tick(2)
+    forced = client.post("/monitor/poll", json={"force": True})
+    opened = (forced.json().get("pass") or {}).get("opened") or []
+    check(
+        "forced fault opens one incident",
+        forced.status == 200 and len(opened) == 1,
+        f"{len(opened)} opened",
+    )
+    if len(opened) == 1:
+        incident = opened[0]
+        record = client.get(f"/incidents/{incident['incident_id']}/flightrecord")
+        bundle = record.json().get("flightrecord") or {}
+        check(
+            "GET /incidents/{id}/flightrecord",
+            record.status == 200 and bundle.get("trigger") == "incident-open",
+            bundle.get("record_id", ""),
+        )
+        corr = forced.headers.get("X-Repro-Corr-Id")
+        check(
+            "corr id ties poll, incident and flight record",
+            bool(corr)
+            and incident.get("corr_id") == corr
+            and bundle.get("corr_id") == corr,
+            str(corr),
+        )
+        correlated_names = {
+            entry.get("name")
+            for entry in bundle.get("spans", [])
+            if entry.get("attrs", {}).get("corr_id") == corr
+        }
+        check(
+            "poll corr id spans monitor.poll and adopted worker.shard",
+            {"monitor.poll", "worker.shard"} <= correlated_names,
+            f"{len(correlated_names)} correlated span name(s)",
+        )
+        bus_events = [
+            entry
+            for entry in bundle.get("events", [])
+            if str(entry.get("kind", "")).startswith("bus.")
+        ]
+        check("flight record captured bus traffic", bool(bus_events))
+
     service.close()
     verdict = "ok" if failures == 0 else f"{failures} failure(s)"
     print(f"[repro-service] self-check {verdict}")

@@ -57,6 +57,11 @@ class Request:
     body: Optional[dict] = None
     #: Values captured from ``{placeholder}`` segments of the matched route.
     params: Dict[str, str] = field(default_factory=dict)
+    #: Request headers with lower-cased names (``x-repro-corr-id`` et al.).
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.headers.get(name.lower(), default)
 
     def json_body(self) -> dict:
         """The JSON body, or an empty dict for body-less requests."""
@@ -71,6 +76,8 @@ class Response:
     payload: Optional[dict] = None
     text: Optional[str] = None
     content_type: str = "application/json"
+    #: Extra response headers (Content-Type/Length are emitted separately).
+    headers: Dict[str, str] = field(default_factory=dict)
 
     @classmethod
     def json(cls, payload: dict, status: int = 200) -> "Response":

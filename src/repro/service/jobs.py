@@ -191,6 +191,11 @@ class AuditQueue:
         with self._lock:
             return list(self._jobs.values())
 
+    def pending(self) -> int:
+        """Jobs not yet in a terminal state (queued + running)."""
+        with self._lock:
+            return sum(1 for job in self._jobs.values() if not job.finished)
+
     def join(self) -> None:
         """Block until every enqueued job has executed (tests, shutdown)."""
         self._queue.join()

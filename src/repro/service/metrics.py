@@ -107,9 +107,12 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: Dict[str, Dict[LabelKey, float]] = {}
         self._summaries: Dict[str, Dict[LabelKey, _SummarySeries]] = {}
-        self._gauges: Dict[str, Callable[[], float]] = {}
+        self._gauges: Dict[str, Dict[LabelKey, Callable[[], float]]] = {}
         self._help: Dict[str, str] = {}
         self._summary_window = summary_window
+        self._observer: Optional[
+            Callable[[str, float, Optional[Dict[str, str]]], None]
+        ] = None
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -127,6 +130,9 @@ class MetricsRegistry:
             series[key] = series.get(key, 0.0) + value
             if help:
                 self._help.setdefault(name, help)
+            observer = self._observer
+        if observer is not None:
+            observer(name, value, labels)
 
     def observe(
         self,
@@ -144,13 +150,37 @@ class MetricsRegistry:
             series.observe(float(value))
             if help:
                 self._help.setdefault(name, help)
+            observer = self._observer
+        if observer is not None:
+            observer(name, float(value), labels)
 
-    def gauge(self, name: str, fn: Callable[[], float], help: str = "") -> None:
-        """Register a gauge computed from live state at every render."""
+    def gauge(
+        self,
+        name: str,
+        fn: Callable[[], float],
+        help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Register a gauge computed from live state at every render.
+
+        ``labels`` makes one metric name carry several computed series
+        (``repro_health_status{component="monitor"}`` et al.).
+        """
         with self._lock:
-            self._gauges[name] = fn
+            self._gauges.setdefault(name, {})[_label_key(labels)] = fn
             if help:
                 self._help.setdefault(name, help)
+
+    def set_observer(
+        self, fn: Optional[Callable[[str, float, Optional[Dict[str, str]]], None]]
+    ) -> None:
+        """One callback fired (outside the lock) per inc/observe.
+
+        The flight recorder uses this to keep its metric-delta ring current
+        without the registry knowing the recorder exists.
+        """
+        with self._lock:
+            self._observer = fn
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -172,6 +202,12 @@ class MetricsRegistry:
                 return series.count if series is not None else 0
             return sum(series.count for series in by_label.values())
 
+    def gauge_value(self, name: str, labels: Optional[Dict[str, str]] = None) -> float:
+        """Evaluate one registered gauge now (raises KeyError when unknown)."""
+        with self._lock:
+            fn = self._gauges[name][_label_key(labels)]
+        return float(fn())
+
     # ------------------------------------------------------------------ #
     # Rendering
     # ------------------------------------------------------------------ #
@@ -188,7 +224,7 @@ class MetricsRegistry:
                 }
                 for name, by_label in self._summaries.items()
             }
-            gauges = dict(self._gauges)
+            gauges = {name: dict(series) for name, series in self._gauges.items()}
             help_text = dict(self._help)
 
         lines: List[str] = []
@@ -218,7 +254,9 @@ class MetricsRegistry:
                 lines.append(f"{name}_sum{_format_labels(key)} {_format_value(total)}")
         for name in sorted(gauges):
             header(name, "gauge")
-            lines.append(f"{name} {_format_value(gauges[name]())}")
+            for key in sorted(gauges[name]):
+                value = gauges[name][key]()
+                lines.append(f"{name}{_format_labels(key)} {_format_value(value)}")
         if not lines:
             return ""
         return "\n".join(lines) + "\n"

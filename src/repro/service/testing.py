@@ -11,7 +11,7 @@ service benchmark all run on it.
 from __future__ import annotations
 
 import json
-from typing import Optional
+from typing import Dict, Optional
 from urllib.parse import parse_qsl, urlsplit
 
 from .app import ScoutService
@@ -26,6 +26,7 @@ class ClientResponse:
     def __init__(self, response: Response) -> None:
         self.status = response.status
         self.content_type = response.content_type
+        self.headers = dict(response.headers)
         self._response = response
 
     @property
@@ -50,7 +51,11 @@ class TestClient:
         self.service = service
 
     def request(
-        self, method: str, path: str, json_body: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        json_body: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> ClientResponse:
         split = urlsplit(path)
         request = Request(
@@ -58,6 +63,7 @@ class TestClient:
             path=split.path,
             query=dict(parse_qsl(split.query)),
             body=json_body,
+            headers={key.lower(): value for key, value in (headers or {}).items()},
         )
         return ClientResponse(self.service.handle(request))
 

@@ -35,13 +35,12 @@ class WsgiApp:
         else:
             response = self.service.handle(parsed)
         body = response.body_bytes()
-        start_response(
-            f"{response.status} {response.reason}",
-            [
-                ("Content-Type", response.content_type),
-                ("Content-Length", str(len(body))),
-            ],
-        )
+        headers = [
+            ("Content-Type", response.content_type),
+            ("Content-Length", str(len(body))),
+        ]
+        headers.extend(response.headers.items())
+        start_response(f"{response.status} {response.reason}", headers)
         return [body]
 
     @staticmethod
@@ -49,6 +48,11 @@ class WsgiApp:
         method = environ.get("REQUEST_METHOD", "GET")
         path = environ.get("PATH_INFO", "/") or "/"
         query = dict(parse_qsl(environ.get("QUERY_STRING", "")))
+        headers = {
+            key[5:].lower().replace("_", "-"): value
+            for key, value in environ.items()
+            if key.startswith("HTTP_")
+        }
         body = None
         length = (environ.get("CONTENT_LENGTH") or "").strip()
         if length:
@@ -64,7 +68,9 @@ class WsgiApp:
                     return BadRequest(
                         "request body must be a JSON object"
                     ).to_response()
-        return Request(method=method, path=path, query=query, body=body)
+        return Request(
+            method=method, path=path, query=query, body=body, headers=headers
+        )
 
 
 class _QuietHandler(WSGIRequestHandler):

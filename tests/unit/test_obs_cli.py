@@ -84,6 +84,48 @@ class TestParallelSubcommand:
         assert payload["speedup"] > 0
 
 
+class TestFlightrecordSubcommand:
+    def _bundle(self):
+        from repro.obs import FlightRecorder, TraceCollector, correlated
+
+        recorder = FlightRecorder()
+        collector = TraceCollector()
+        collector.add_sink(recorder.record_span)
+        with correlated("corr-cli-1"):
+            with collector.span("monitor.poll"):
+                with collector.span("worker.shard"):
+                    pass
+            recorder.record_event("bus.RuleLost", detail="leaf-1 lost a rule")
+            return recorder.dump(
+                "incident-open", incident_id="INC-0001", switch="leaf-1"
+            )
+
+    def test_pretty_prints_a_bundle(self, tmp_path, capsys):
+        path = tmp_path / "bundle.json"
+        path.write_text(json.dumps(self._bundle()))
+        assert main(["flightrecord", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "flight record FR-0001" in out
+        assert "trigger=incident-open" in out
+        assert "incident: INC-0001" in out
+        assert "monitor.poll" in out
+        assert "    worker.shard" in out  # indented under its parent
+        assert "[corr-cli-1]" in out
+        assert "bus.RuleLost" in out
+
+    def test_accepts_the_http_envelope(self, tmp_path, capsys):
+        path = tmp_path / "envelope.json"
+        path.write_text(json.dumps({"flightrecord": self._bundle()}))
+        assert main(["flightrecord", str(path)]) == 0
+        assert "trigger=incident-open" in capsys.readouterr().out
+
+    def test_rejects_a_non_bundle_payload(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"spans": []}))
+        assert main(["flightrecord", str(path)]) == 1
+        assert "not a flight-record bundle" in capsys.readouterr().out
+
+
 def test_requires_a_subcommand(capsys):
     with pytest.raises(SystemExit):
         main([])

@@ -1,0 +1,141 @@
+"""Correlation ids: minting, nesting, span stamping, cross-process adoption."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.controller.controller import Controller
+from repro.core import ScoutSystem
+from repro.obs import (
+    TraceCollector,
+    correlated,
+    current_corr_id,
+    new_corr_id,
+    set_corr_id,
+)
+from repro.parallel import WarmWorkerPool
+from repro.workloads import small_profile
+from repro.workloads.generator import generate_workload
+
+
+class TestCorrIds:
+    def test_outside_any_context_there_is_no_ambient_id(self):
+        assert current_corr_id() is None
+
+    def test_minted_ids_are_unique_and_prefixed(self):
+        first, second = new_corr_id("req"), new_corr_id("req")
+        assert first != second
+        assert first.startswith("req-")
+        assert second.startswith("req-")
+
+    def test_correlated_mints_reuses_and_overrides(self):
+        with correlated(prefix="poll") as outer:
+            assert outer.startswith("poll-")
+            assert current_corr_id() == outer
+            # Nested work joins the ambient trail instead of minting anew.
+            with correlated(prefix="inner") as inner:
+                assert inner == outer
+            # An explicit id always wins.
+            with correlated("corr-explicit") as explicit:
+                assert explicit == "corr-explicit"
+                assert current_corr_id() == "corr-explicit"
+            assert current_corr_id() == outer
+        assert current_corr_id() is None
+
+    def test_set_corr_id_installs_directly(self):
+        set_corr_id("corr-direct")
+        try:
+            assert current_corr_id() == "corr-direct"
+        finally:
+            set_corr_id(None)
+
+
+class TestSpanStamping:
+    def test_spans_inherit_the_ambient_corr_id(self):
+        collector = TraceCollector()
+        with correlated("corr-stamp"):
+            with collector.span("work"):
+                pass
+        (recorded,) = collector.spans()
+        assert recorded.attrs["corr_id"] == "corr-stamp"
+
+    def test_explicit_attr_beats_the_ambient_id(self):
+        collector = TraceCollector()
+        with correlated("corr-ambient"):
+            with collector.span("work", corr_id="corr-pinned"):
+                pass
+        (recorded,) = collector.spans()
+        assert recorded.attrs["corr_id"] == "corr-pinned"
+
+    def test_spans_without_ambient_id_stay_unstamped(self):
+        collector = TraceCollector()
+        with collector.span("work"):
+            pass
+        (recorded,) = collector.spans()
+        assert "corr_id" not in recorded.attrs
+
+    def test_adopt_restamps_payloads_missing_a_corr_id(self):
+        worker_side = TraceCollector()
+        with worker_side.span("worker.shard"):
+            pass
+        payloads = [recorded.to_dict() for recorded in worker_side.spans()]
+        parent = TraceCollector()
+        with correlated("corr-adopt"):
+            parent.adopt(payloads)
+        (restored,) = parent.spans()
+        assert restored.attrs["corr_id"] == "corr-adopt"
+
+    def test_adopt_preserves_a_shipped_corr_id(self):
+        worker_side = TraceCollector()
+        with correlated("corr-worker"):
+            with worker_side.span("worker.shard"):
+                pass
+        payloads = [recorded.to_dict() for recorded in worker_side.spans()]
+        parent = TraceCollector()
+        with correlated("corr-parent"):
+            parent.adopt(payloads)
+        (restored,) = parent.spans()
+        assert restored.attrs["corr_id"] == "corr-worker"
+
+
+@pytest.fixture(scope="module")
+def system():
+    workload = generate_workload(small_profile())
+    controller = Controller(workload.policy, workload.fabric)
+    controller.deploy()
+    return ScoutSystem(controller)
+
+
+class TestCrossProcess:
+    def test_worker_spans_carry_the_corr_id_across_the_pool(self, system):
+        """The id survives the pickle boundary into real worker processes."""
+        collector = TraceCollector()
+        with WarmWorkerPool(max_workers=2) as pool:
+            with correlated("corr-pool-1"):
+                report = system.check(parallel=True, executor=pool, trace=collector)
+        assert report.equivalent
+        workers = [
+            recorded
+            for recorded in collector.spans()
+            if recorded.name.startswith("worker.")
+        ]
+        assert workers
+        assert all(
+            recorded.attrs.get("corr_id") == "corr-pool-1" for recorded in workers
+        )
+        # At least some of that work genuinely ran in another process.
+        assert any(recorded.pid != os.getpid() for recorded in workers)
+
+    def test_uncorrelated_check_ships_no_id(self, system):
+        collector = TraceCollector()
+        report = system.check(parallel=True, max_workers=2, trace=collector)
+        assert report.equivalent
+        workers = [
+            recorded
+            for recorded in collector.spans()
+            if recorded.name.startswith("worker.")
+        ]
+        assert workers
+        assert all("corr_id" not in recorded.attrs for recorded in workers)

@@ -1,0 +1,118 @@
+"""Health registry worst-of rollups and SLO burn-rate arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import ComponentHealth, HealthRegistry, HealthStatus, SloTracker
+
+
+def _ok(name: str) -> ComponentHealth:
+    return ComponentHealth(name=name, status=HealthStatus.OK, detail="fine")
+
+
+class TestHealthRegistry:
+    def test_empty_registry_reports_ok(self):
+        report = HealthRegistry().report()
+        assert report == {"status": "ok", "components": {}}
+
+    def test_worst_component_sets_the_overall_status(self):
+        registry = HealthRegistry()
+        registry.register("a", lambda: _ok("a"))
+        registry.register(
+            "b",
+            lambda: ComponentHealth(name="b", status=HealthStatus.DEGRADED),
+        )
+        assert registry.report()["status"] == "degraded"
+        registry.register(
+            "c",
+            lambda: ComponentHealth(name="c", status=HealthStatus.FAILING),
+        )
+        report = registry.report()
+        assert report["status"] == "failing"
+        assert sorted(report["components"]) == ["a", "b", "c"]
+        assert report["components"]["a"]["detail"] == "fine"
+
+    def test_raising_probe_is_a_failing_component_not_an_error(self):
+        registry = HealthRegistry()
+
+        def explode() -> ComponentHealth:
+            raise RuntimeError("probe broke")
+
+        registry.register("fragile", explode)
+        verdict = registry.probe("fragile")
+        assert verdict.status is HealthStatus.FAILING
+        assert "probe broke" in verdict.detail
+        assert registry.report()["status"] == "failing"
+
+    def test_unknown_probe_name_raises_key_error(self):
+        with pytest.raises(KeyError):
+            HealthRegistry().probe("ghost")
+
+    def test_status_codes_order_by_severity(self):
+        assert HealthStatus.OK.code == 0
+        assert HealthStatus.DEGRADED.code == 1
+        assert HealthStatus.FAILING.code == 2
+
+
+class TestSloTracker:
+    def test_target_must_be_a_proper_fraction(self):
+        tracker = SloTracker()
+        with pytest.raises(ValueError):
+            tracker.define("bad", 1.0)
+        with pytest.raises(ValueError):
+            tracker.define("bad", 0.0)
+
+    def test_empty_window_attains_perfectly(self):
+        tracker = SloTracker()
+        tracker.define("avail", 0.99)
+        assert tracker.attainment("avail") == 1.0
+        assert tracker.burn_rate("avail") == 0.0
+        assert tracker.status("avail") is HealthStatus.OK
+
+    def test_burn_rate_is_error_rate_over_budget(self):
+        tracker = SloTracker()
+        tracker.define("avail", 0.9)  # 10% error budget
+        for _ in range(8):
+            tracker.record("avail", True)
+        for _ in range(2):
+            tracker.record("avail", False)
+        # 20% observed errors against a 10% budget: burning 2x.
+        assert tracker.attainment("avail") == pytest.approx(0.8)
+        assert tracker.burn_rate("avail") == pytest.approx(2.0)
+        assert tracker.status("avail") is HealthStatus.DEGRADED
+        tracker.record("avail", False)
+        assert tracker.status("avail") is HealthStatus.FAILING
+
+    def test_window_is_bounded_and_rolling(self):
+        tracker = SloTracker(window=4)
+        tracker.define("jobs", 0.5)
+        for _ in range(4):
+            tracker.record("jobs", False)
+        assert tracker.attainment("jobs") == 0.0
+        for _ in range(4):
+            tracker.record("jobs", True)
+        # The failures aged out of the window entirely.
+        assert tracker.attainment("jobs") == 1.0
+        assert tracker.status("jobs") is HealthStatus.OK
+
+    def test_unknown_names_are_dropped_silently(self):
+        tracker = SloTracker()
+        tracker.record("undeclared", True)  # must not raise
+        assert tracker.names() == []
+
+    def test_snapshot_round_trip(self):
+        tracker = SloTracker()
+        tracker.define("avail", 0.99, "requests answered below 500")
+        tracker.define("jobs", 0.9, "jobs that finished DONE")
+        tracker.record("avail", True)
+        tracker.record("jobs", False)
+        single = tracker.snapshot("avail")
+        assert single["name"] == "avail"
+        assert single["target"] == 0.99
+        assert single["window"] == 1
+        assert single["status"] == "ok"
+        everything = tracker.snapshot()
+        assert sorted(everything) == ["avail", "jobs"]
+        assert everything["jobs"]["burn_rate"] == pytest.approx(10.0)
+        assert everything["jobs"]["status"] == "failing"
