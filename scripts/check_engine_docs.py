@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Gate: docs/engines.md must match the checker's engine vocabulary.
+
+``src/repro/verify/checker.py`` is the single source of truth for the
+engine names (the ``ENGINES`` tuple) and the auto-selection defaults
+(``DEFAULT_BDD_LIMIT`` / ``DEFAULT_AP_LIMIT``); the engine-internals
+chapter documents each engine under a heading shaped like
+``### `bdd` — ...`` and states the defaults as ``- `bdd_limit` default:
+`4000` ``.  This script parses both by regex — no imports, no workload
+generation, so it runs in milliseconds on any interpreter — and exits
+non-zero listing every engine that is implemented-but-undocumented or
+documented-but-unimplemented, and every default value the chapter gets
+wrong.
+
+Usage::
+
+    python scripts/check_engine_docs.py [--repo-root PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CHECKER_SOURCE = Path("src/repro/verify/checker.py")
+ENGINE_DOC = Path("docs/engines.md")
+
+#: ``ENGINES: Tuple[str, ...] = ("auto", "bdd", "ap", "hash")``
+ENGINES_RE = re.compile(r"^ENGINES:.*=\s*\((?P<body>[^)]*)\)", re.MULTILINE)
+
+#: ``DEFAULT_BDD_LIMIT = 4000`` (underscore digit grouping allowed)
+LIMIT_RE = re.compile(
+    r"^DEFAULT_(?P<which>BDD|AP)_LIMIT\s*=\s*(?P<value>[\d_]+)", re.MULTILINE
+)
+
+#: ``### `bdd` — exact ROBDD equivalence`` — the documentation idiom.
+HEADING_RE = re.compile(r"^#{2,4}\s+`(?P<name>[a-z]+)`\s+—")
+
+#: ``- `bdd_limit` default: `4000` `` — the stated-default idiom.
+DEFAULT_RE = re.compile(
+    r"`(?P<which>bdd_limit|ap_limit)`\s+default:\s+`(?P<value>[\d_,]+)`"
+)
+
+
+def implemented(checker_source: Path):
+    text = checker_source.read_text()
+    engines_match = ENGINES_RE.search(text)
+    engines = (
+        set(re.findall(r'"([a-z]+)"', engines_match.group("body")))
+        if engines_match
+        else set()
+    )
+    limits = {
+        match.group("which").lower() + "_limit": int(match.group("value"))
+        for match in LIMIT_RE.finditer(text)
+    }
+    return engines, limits
+
+
+def documented(engine_doc: Path):
+    engines = set()
+    limits = {}
+    for line in engine_doc.read_text().splitlines():
+        heading = HEADING_RE.match(line)
+        if heading:
+            engines.add(heading.group("name"))
+        for match in DEFAULT_RE.finditer(line):
+            value = int(match.group("value").replace("_", "").replace(",", ""))
+            limits[match.group("which")] = value
+    return engines, limits
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repo-root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the parent of this script's directory)",
+    )
+    args = parser.parse_args(argv)
+    checker_source = args.repo_root / CHECKER_SOURCE
+    engine_doc = args.repo_root / ENGINE_DOC
+    for path in (checker_source, engine_doc):
+        if not path.is_file():
+            print(f"engine docs: missing {path}", file=sys.stderr)
+            return 2
+
+    code_engines, code_limits = implemented(checker_source)
+    doc_engines, doc_limits = documented(engine_doc)
+    if not code_engines:
+        print(
+            f"engine docs: no ENGINES tuple parsed from {checker_source}",
+            file=sys.stderr,
+        )
+        return 2
+    if not code_limits:
+        print(
+            f"engine docs: no DEFAULT_*_LIMIT parsed from {checker_source}",
+            file=sys.stderr,
+        )
+        return 2
+    if not doc_engines:
+        print(
+            f"engine docs: no engine headings parsed from {engine_doc}",
+            file=sys.stderr,
+        )
+        return 2
+
+    problems = []
+    for name in sorted(code_engines - doc_engines):
+        problems.append(f"implemented but not documented: {name}")
+    for name in sorted(doc_engines - code_engines):
+        problems.append(f"documented but not implemented: {name}")
+    for which, value in sorted(code_limits.items()):
+        if which not in doc_limits:
+            problems.append(f"default not stated in docs: {which} = {value}")
+        elif doc_limits[which] != value:
+            problems.append(
+                f"stale default: docs say {which} = {doc_limits[which]}, "
+                f"code says {value}"
+            )
+    for which in sorted(set(doc_limits) - set(code_limits)):
+        problems.append(f"docs state a default the code does not define: {which}")
+    for problem in problems:
+        print(f"engine docs: {problem}", file=sys.stderr)
+    if not problems:
+        print(
+            f"engine docs: {len(code_engines)} engine(s) and "
+            f"{len(code_limits)} default(s) in sync"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -3,8 +3,9 @@
 Each cell is run hermetically: a fresh workload is generated from the cell's
 profile and seed, deployed through a fresh controller, faulted according to
 the cell's fault class, checked through the requested verification engine
-(serial sweep, sharded parallel sweep, or the event-driven incremental
-checker) and localized with SCOUT; the hypothesis is scored against the
+(serial sweep, sharded parallel sweep, the event-driven incremental
+checker, or a serial sweep pinned to the atomic-predicate backend) and
+localized with SCOUT; the hypothesis is scored against the
 injector's ground truth.  Everything observable about a cell — the
 equivalence-report fingerprint, the injected events, the localization output
 and the accuracy metrics — is a pure function of the cell, which is what the
@@ -269,6 +270,8 @@ def _check_with_engine(
         return incremental.report()
     if cell.engine == "parallel":
         return system.check(parallel=True, max_workers=PARALLEL_WORKERS)
+    if cell.engine == "ap":
+        return system.check(engine="ap")
     return system.check()
 
 
@@ -309,6 +312,8 @@ def _run_churn_cell(cell: CampaignCell, start: float) -> CellResult:
             report = driver.monitor.report()
         elif cell.engine == "parallel":
             report = system.check(parallel=True, max_workers=PARALLEL_WORKERS)
+        elif cell.engine == "ap":
+            report = system.check(engine="ap")
         else:
             report = system.check()
         canonical = report.canonical()

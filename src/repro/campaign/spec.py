@@ -59,8 +59,11 @@ OBJECT_FAULT_CLASSES = ("object-fault", "multi-fault")
 #: Fault classes whose ``count`` knob is meaningful (multi-fault: number of
 #: simultaneous object faults; churn: number of churn-stream events).
 COUNTED_FAULT_CLASSES = ("multi-fault", "churn")
-#: Verification engine modes a cell can run under.
-ENGINE_MODES = ("serial", "parallel", "incremental")
+#: Verification engine modes a cell can run under.  The first three select
+#: *how* checks execute (one sweep, sharded workers, delta-driven refresh);
+#: ``ap`` runs a serial sweep pinned to the atomic-predicate checker engine
+#: (:mod:`repro.verify.atoms`) instead of the auto bdd/ap/hash ladder.
+ENGINE_MODES = ("serial", "parallel", "incremental", "ap")
 #: Localization scopes (see :class:`~repro.core.system.ScoutSystem`).
 SCOPES = ("controller", "switch")
 

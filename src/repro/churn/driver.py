@@ -207,12 +207,13 @@ class ChurnDriver:
         self.max_workers = max_workers
         # A churn run re-checks violating switches thousands of times (every
         # event that touches a faulted switch digests dirty), so heavyweight
-        # leaves get the exact-match hash engine instead of a fresh ROBDD per
-        # pass: ``bdd_limit`` is lowered from the batch default and shared by
-        # every checker that judges this run — the monitor's, the oracle's
-        # from-scratch sweep, and the campaign cell's final check — so engine
-        # selection can never be the thing that differs.  Small switches
-        # keep BDDs.
+        # leaves get the atomic-predicate engine instead of a fresh ROBDD per
+        # pass (its table persists on each long-lived checker, so repeat
+        # checks patch atoms instead of rebuilding them): ``bdd_limit`` is
+        # lowered from the batch default and shared by every checker that
+        # judges this run — the monitor's, the oracle's from-scratch sweep,
+        # and the campaign cell's final check — so engine selection can never
+        # be the thing that differs.  Small switches keep BDDs.
         self.bdd_limit = bdd_limit
         self.monitor = monitor or NetworkMonitor(
             controller,

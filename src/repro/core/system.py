@@ -148,6 +148,30 @@ class ScoutSystem:
         self.correlation_engine = correlation_engine or EventCorrelationEngine()
         #: Lazily created persistent worker pool for parallel sweeps.
         self._pool: Optional[WarmWorkerPool] = None
+        #: Derived checkers for per-call ``engine=`` overrides, cached so a
+        #: repeated override (e.g. every ``ap`` audit) reuses compiled state.
+        self._engine_checkers: Dict[str, EquivalenceChecker] = {}
+
+    def _checker_for(self, engine: Optional[str]) -> EquivalenceChecker:
+        """The system checker, or a derived one pinned to ``engine``.
+
+        Derived checkers share the base checker's rule space, limits and
+        atom table (atomic predicates refine monotonically, so sharing is
+        always sound), differing only in engine selection.
+        """
+        if engine is None or engine == self.checker.engine:
+            return self.checker
+        derived = self._engine_checkers.get(engine)
+        if derived is None:
+            derived = EquivalenceChecker(
+                rule_space=self.checker.rule_space,
+                engine=engine,
+                bdd_limit=self.checker.bdd_limit,
+                ap_limit=self.checker.ap_limit,
+                atoms=self.checker.atoms,
+            )
+            self._engine_checkers[engine] = derived
+        return derived
 
     # ------------------------------------------------------------------ #
     # Worker-pool lifecycle
@@ -186,8 +210,13 @@ class ScoutSystem:
         max_workers: Optional[int] = None,
         executor=None,
         trace: Optional[TraceCollector] = None,
+        engine: Optional[str] = None,
     ) -> EquivalenceReport:
         """Compare desired (L) and deployed (T) rules across the fabric.
+
+        ``engine`` overrides the system checker's engine selection for this
+        sweep only (any :data:`~repro.verify.checker.ENGINES` value); the
+        derived checker shares the base checker's atom table and limits.
 
         With ``parallel=True`` (or an explicit ``executor``) the per-switch
         checks run through the sharded engine — the system's persistent
@@ -201,6 +230,7 @@ class ScoutSystem:
         for the duration of the sweep; the collector is also attached to
         the returned report as ``report.trace``.
         """
+        checker = self._checker_for(engine)
         scope = activated(trace) if trace is not None else contextlib.nullcontext()
         with scope:
             with span("check.compile_logical"):
@@ -218,12 +248,12 @@ class ScoutSystem:
                     # small ones fall through to the inline fallback inside
                     # resolve_executor (no processes to keep warm).
                     executor = self.worker_pool(max_workers)
-                report = self.checker.check_many(
+                report = checker.check_many(
                     switches, executor=executor, max_workers=max_workers
                 )
             else:
                 with span("check.network", switches=len(set(logical) | set(deployed))):
-                    report = self.checker.check_network(logical, deployed)
+                    report = checker.check_network(logical, deployed)
         if trace is not None:
             report.trace = trace
         return report
@@ -240,8 +270,13 @@ class ScoutSystem:
         max_workers: Optional[int] = None,
         shard_plan: Optional[ShardPlan] = None,
         trace: Optional[TraceCollector] = None,
+        engine: Optional[str] = None,
     ) -> ScoutReport:
         """Run the full pipeline and return a :class:`ScoutReport`.
+
+        ``engine`` overrides the checker engine for this run's equivalence
+        sweep (see :meth:`check`); localization and correlation consume the
+        resulting report unchanged, so the hypothesis is engine-invariant.
 
         ``parallel=True`` shards the equivalence sweep across
         ``max_workers`` processes and applies the risk-model augmentation
@@ -257,7 +292,7 @@ class ScoutSystem:
             with span("scout.build_index"):
                 index = self.controller.build_index()
             equivalence = report or self.check(
-                index=index, parallel=parallel, max_workers=max_workers
+                index=index, parallel=parallel, max_workers=max_workers, engine=engine
             )
             if shard_plan is None and parallel:
                 shard_plan = plan_for_report(

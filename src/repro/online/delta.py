@@ -445,4 +445,9 @@ class IncrementalChecker:
             "index_rebuilds": self.index_rebuilds,
             "index_patches": self.index_patches,
             "dirty_switches": len(self._dirty),
+            # The persistent checker's atom table (atomic-predicate engine):
+            # deltas *patch* it in place, so across refreshes the version
+            # only moves when a genuinely new protocol/port value appears.
+            "atom_version": self.checker.atoms.version,
+            "atom_patches": self.checker.atoms.patches,
         }

@@ -38,7 +38,12 @@ from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tupl
 
 from ..obs import TraceCollector, activated, correlated, current, current_corr_id, span
 from ..rules import MatchKey, TcamRule
-from ..verify.checker import EquivalenceChecker, EquivalenceReport, SwitchCheckResult
+from ..verify.checker import (
+    DEFAULT_AP_LIMIT,
+    EquivalenceChecker,
+    EquivalenceReport,
+    SwitchCheckResult,
+)
 from ..verify.encoding import RuleSpace
 from .executor import resolve_executor
 from .memo import WORKER_CACHE, CompiledOutcome, ruleset_digest
@@ -97,6 +102,9 @@ class ShardTask:
     engine: str
     bdd_limit: int
     space_widths: Tuple[int, int, int, int]
+    #: Auto-ladder boundary between the atomic-predicate and hash engines
+    #: (defaulted so pickles from older plans stay loadable).
+    ap_limit: int = DEFAULT_AP_LIMIT
     #: When true the worker records spans for its own stages (digest+lookup,
     #: check, serialize) and ships them back inside the ShardResult.
     trace: bool = False
@@ -176,7 +184,7 @@ def run_shard(task: ShardTask) -> ShardResult:
     attribute in-worker cost without any shared state.
     """
     collector = TraceCollector(enabled=task.trace)
-    config = (task.engine, task.bdd_limit, task.space_widths)
+    config = (task.engine, task.bdd_limit, task.ap_limit, task.space_widths)
     # Restore the dispatcher's correlation id so worker spans are stamped at
     # birth.  Without one, leave the context alone: the parent's adopt() then
     # stamps its own ambient id, and a worker-minted id would shadow it.
@@ -199,10 +207,20 @@ def run_shard(task: ShardTask) -> ShardResult:
 
             resolved: List[CompiledOutcome] = []
             with span("worker.check"):
+                # The atomic-predicate engine's table outlives the shard:
+                # buffers already folded in (digest-keyed) are skipped, so a
+                # warm worker patches atoms only for genuinely new rule sets.
+                if task.engine in ("auto", "ap"):
+                    for ref, buffer in enumerate(task.buffers):
+                        WORKER_CACHE.observe_buffer(
+                            task.space_widths, digests[ref], buffer
+                        )
                 checker = EquivalenceChecker(
                     rule_space=RuleSpace(*task.space_widths),
                     engine=task.engine,
                     bdd_limit=task.bdd_limit,
+                    ap_limit=task.ap_limit,
+                    atoms=WORKER_CACHE.atom_table(task.space_widths),
                 )
                 for unit in task.units:
                     key: Hashable = (
@@ -364,6 +382,7 @@ def check_switches(
                         buffers=tuple(buffers),
                         engine=checker.engine,
                         bdd_limit=checker.bdd_limit,
+                        ap_limit=checker.ap_limit,
                         space_widths=_space_widths(checker.rule_space),
                         trace=tracing,
                         corr_id=current_corr_id(),

@@ -36,6 +36,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Optional, Sequence, Tuple
 
 from ..rules import MatchKey
+from ..verify.atoms import AtomTable
+from ..verify.encoding import RuleSpace
 
 __all__ = [
     "CompiledOutcome",
@@ -86,6 +88,12 @@ class CompiledStateCache:
         self._entries: "OrderedDict[Hashable, CompiledOutcome]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        # One long-lived AtomTable per rule space (keyed by field widths),
+        # plus the digests of the rule buffers already folded into each, so
+        # the atomic-predicate engine patches atoms at most once per distinct
+        # buffer for the lifetime of the worker process.
+        self._atom_tables: Dict[Tuple[int, int, int, int], AtomTable] = {}
+        self._atom_digests: set = set()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -106,11 +114,54 @@ class CompiledStateCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
 
+    def atom_table(self, space_widths: Tuple[int, int, int, int]) -> AtomTable:
+        """The process-lifetime atom table for one rule space's widths.
+
+        Sharing one table across shards/rounds is sound because atomic
+        predicates only *refine* monotonically — a table observed from other
+        switches' rules never changes a verdict, it just splits atoms both
+        sides of any comparison treat uniformly.
+        """
+        table = self._atom_tables.get(space_widths)
+        if table is None:
+            vrf_bits, epg_bits, protocol_bits, port_bits = space_widths
+            table = AtomTable(
+                RuleSpace(
+                    vrf_bits=vrf_bits,
+                    epg_bits=epg_bits,
+                    protocol_bits=protocol_bits,
+                    port_bits=port_bits,
+                )
+            )
+            self._atom_tables[space_widths] = table
+        return table
+
+    def observe_buffer(
+        self,
+        space_widths: Tuple[int, int, int, int],
+        digest: str,
+        keys: Sequence[MatchKey],
+    ) -> bool:
+        """Fold one rule buffer into its atom table, at most once per digest.
+
+        Returns True when the buffer was new (and was observed).  Digest
+        bookkeeping is an optimization only — re-observation is always a
+        semantic no-op — so the set is never bounded or invalidated.
+        """
+        entry = (space_widths, digest)
+        if entry in self._atom_digests:
+            return False
+        self.atom_table(space_widths).observe_keys(keys)
+        self._atom_digests.add(entry)
+        return True
+
     def clear(self) -> None:
         """Drop every entry and zero the counters (tests and respawns)."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self._atom_tables.clear()
+        self._atom_digests.clear()
 
     def stats(self) -> Dict[str, Any]:
         total = self.hits + self.misses
@@ -119,6 +170,10 @@ class CompiledStateCache:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hits / total if total else 0.0,
+            "atom_tables": {
+                "spaces": len(self._atom_tables),
+                "observed_buffers": len(self._atom_digests),
+            },
         }
 
 

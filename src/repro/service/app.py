@@ -76,6 +76,7 @@ from ..obs import (
 from ..online.events import Event
 from ..online.incidents import Incident, IncidentStatus
 from ..online.monitor import NetworkMonitor
+from ..verify.checker import ENGINES
 from ..workloads.churn_profiles import churn_profile_for
 from ..workloads.generator import generate_workload
 from ..workloads.profiles import resolve_profile
@@ -86,7 +87,9 @@ from .metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
 __all__ = ["ScoutService", "service_for_profile"]
 
 #: Parameters ``POST /audits`` accepts (everything else is a 400).
-_AUDIT_PARAMS = frozenset({"scope", "parallel", "max_workers", "correlate", "sync"})
+_AUDIT_PARAMS = frozenset(
+    {"scope", "parallel", "max_workers", "correlate", "sync", "engine"}
+)
 
 #: Parameters ``POST /campaigns`` accepts: the campaign spec fields plus the
 #: queue's ``sync`` override.
@@ -528,6 +531,7 @@ class ScoutService:
                     correlate=params.get("correlate", True),
                     parallel=params.get("parallel", False),
                     max_workers=params.get("max_workers"),
+                    engine=params.get("engine"),
                 )
         payload = report.to_dict()
         # Duplicated at the top level so pollers don't have to dig for it.
@@ -553,11 +557,17 @@ class ScoutService:
             raise BadRequest(
                 f"max_workers must be a positive integer, got {max_workers!r}"
             )
+        engine = body.get("engine")
+        if engine is not None and engine not in ENGINES:
+            raise BadRequest(
+                f"engine must be one of {', '.join(ENGINES)}, got {engine!r}"
+            )
         params = {
             "scope": scope,
             "parallel": bool(body.get("parallel", False)),
             "max_workers": max_workers,
             "correlate": bool(body.get("correlate", True)),
+            "engine": engine,
         }
         # Absent → queue default; an explicit true/false overrides either way.
         sync_override = body.get("sync")

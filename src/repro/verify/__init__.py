@@ -1,12 +1,24 @@
-"""Verification substrate: ROBDD library and the L-T equivalence checker."""
+"""Verification substrate: ROBDD library, atomic predicates and the checker."""
 
+from .atoms import AtomTable
 from .bdd import BDD
-from .checker import EquivalenceChecker, EquivalenceReport, SwitchCheckResult
+from .checker import (
+    DEFAULT_AP_LIMIT,
+    DEFAULT_BDD_LIMIT,
+    ENGINES,
+    EquivalenceChecker,
+    EquivalenceReport,
+    SwitchCheckResult,
+)
 from .encoding import DEFAULT_RULE_SPACE, RuleSpace
 
 __all__ = [
+    "AtomTable",
     "BDD",
+    "DEFAULT_AP_LIMIT",
+    "DEFAULT_BDD_LIMIT",
     "DEFAULT_RULE_SPACE",
+    "ENGINES",
     "EquivalenceChecker",
     "EquivalenceReport",
     "RuleSpace",

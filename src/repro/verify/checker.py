@@ -13,19 +13,29 @@ TCAM (T-type), exactly as §III-C describes:
 Extra (superfluous) TCAM rules are also reported for completeness; the fault
 localization problem the paper studies is driven by the missing side.
 
-Two engines are available:
+Three engines are available (plus ``"auto"``, which picks one per switch):
 
 * ``engine="bdd"`` — the faithful ROBDD comparison (default for per-switch
   rule sets up to ``bdd_limit`` rules).  It is semantically exact even when
-  rules contain wildcards that subsume one another.
+  rules contain wildcards that subsume one another, and serves as the
+  differential oracle the other engines are gated against.
+* ``engine="ap"`` — atomic predicates: the header space is compressed once
+  into equivalence classes (:class:`~repro.verify.atoms.AtomTable`, patched
+  incrementally on rule deltas) and L-T comparison becomes integer-bitset
+  set algebra.  Semantically exact like the BDD engine — byte-identical
+  ``semantic_fingerprint()`` output, CI-gated — at a fraction of the cost,
+  so ``auto`` prefers it for rule sets above ``bdd_limit``.
 * ``engine="hash"`` — an exact-match set difference on rule match keys.  For
   rules produced by this library's compiler/agents (which never emit
   overlapping wildcards between L and T) it returns the same answer and is
-  used automatically for very large rule sets, e.g. the 500-switch
+  the last-resort fallback above ``ap_limit``, e.g. the 500-switch
   scalability experiment and the "too many missing rules" use case.
 
 The automatic selection keeps the checker faithful where it matters and fast
-where the paper itself only cares about rule counts.
+where the paper itself only cares about rule counts.  ``ENGINES``,
+``DEFAULT_BDD_LIMIT`` and ``DEFAULT_AP_LIMIT`` below are the single source
+of truth for the engine vocabulary — ``docs/engines.md`` is diffed against
+them by ``scripts/check_engine_docs.py`` in CI.
 """
 
 from __future__ import annotations
@@ -37,11 +47,32 @@ from typing import Dict, Iterable, List, Literal, Optional, Sequence, Tuple
 from ..exceptions import VerificationError
 from ..obs import span
 from ..rules import TcamRule
+from .atoms import AtomTable
 from .encoding import RuleSpace
 
-__all__ = ["SwitchCheckResult", "EquivalenceReport", "EquivalenceChecker"]
+__all__ = [
+    "SwitchCheckResult",
+    "EquivalenceReport",
+    "EquivalenceChecker",
+    "ENGINES",
+    "DEFAULT_BDD_LIMIT",
+    "DEFAULT_AP_LIMIT",
+]
 
-Engine = Literal["auto", "bdd", "hash"]
+#: Every accepted ``engine=`` value, in auto-selection order: ``auto``
+#: delegates per switch to ``bdd`` (combined L+T rule count ≤ ``bdd_limit``),
+#: then ``ap`` (≤ ``ap_limit``), then ``hash``.  Keep the ``Engine`` Literal,
+#: the constructor check and ``docs/engines.md`` in sync with this tuple.
+ENGINES: Tuple[str, ...] = ("auto", "bdd", "ap", "hash")
+
+#: Default inclusive upper bound on combined L+T rules for the BDD engine.
+DEFAULT_BDD_LIMIT = 4000
+
+#: Default inclusive upper bound for the atomic-predicate engine; above it
+#: ``auto`` degrades to the exact-match hash engine.
+DEFAULT_AP_LIMIT = 200000
+
+Engine = Literal["auto", "bdd", "ap", "hash"]
 
 
 @dataclass
@@ -221,24 +252,38 @@ class EquivalenceReport:
 class EquivalenceChecker:
     """Compare desired (L) and deployed (T) rules and emit missing rules.
 
-    ``bdd_limit`` governs the ``engine="auto"`` choice per switch: the BDD
-    engine is used while the *combined* L+T rule count is at most
-    ``bdd_limit`` — the boundary is inclusive, a switch with exactly
+    ``bdd_limit`` and ``ap_limit`` govern the ``engine="auto"`` ladder per
+    switch: the BDD engine is used while the *combined* L+T rule count is at
+    most ``bdd_limit`` — the boundary is inclusive, a switch with exactly
     ``bdd_limit`` rules across both snapshots is still checked with BDDs —
-    and the hash engine takes over strictly above it.
+    the atomic-predicate engine takes over strictly above it up to (and
+    including) ``ap_limit``, and the hash engine handles the remainder.
+
+    ``atoms`` optionally shares a long-lived :class:`AtomTable` (e.g. a
+    worker process's table from
+    :class:`~repro.parallel.memo.CompiledStateCache`); by default the
+    checker owns one, which is what lets `IncrementalChecker.refresh` and
+    churn checkpoints patch rather than rebuild the atom universe.
     """
 
     def __init__(
         self,
         rule_space: Optional[RuleSpace] = None,
         engine: Engine = "auto",
-        bdd_limit: int = 4000,
+        bdd_limit: int = DEFAULT_BDD_LIMIT,
+        ap_limit: int = DEFAULT_AP_LIMIT,
+        atoms: Optional[AtomTable] = None,
     ) -> None:
-        if engine not in ("auto", "bdd", "hash"):
-            raise VerificationError(f"unknown checker engine {engine!r}")
+        if engine not in ENGINES:
+            known = ", ".join(ENGINES)
+            raise VerificationError(
+                f"unknown checker engine {engine!r} (expected one of: {known})"
+            )
         self.rule_space = rule_space or RuleSpace()
         self.engine = engine
         self.bdd_limit = bdd_limit
+        self.ap_limit = ap_limit
+        self.atoms = atoms if atoms is not None else AtomTable(self.rule_space)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -255,6 +300,8 @@ class EquivalenceChecker:
             current.count("rules", len(logical) + len(deployed))
             if engine == "bdd":
                 return self._check_with_bdd(switch_uid, logical, deployed)
+            if engine == "ap":
+                return self._check_with_ap(switch_uid, logical, deployed)
             return self._check_with_hash(switch_uid, logical, deployed)
 
     def check_network(
@@ -301,13 +348,19 @@ class EquivalenceChecker:
     def _select_engine(self, total_rules: int) -> str:
         """Pick the engine for one switch's combined L+T rule count.
 
-        The auto boundary is inclusive: exactly ``bdd_limit`` rules still
-        selects the exact BDD engine (pinned by the unit tests); only
-        strictly larger rule sets fall back to the hash engine.
+        Both auto boundaries are inclusive (pinned by the unit tests):
+        exactly ``bdd_limit`` rules still selects the exact BDD engine and
+        exactly ``ap_limit`` rules still selects the atomic-predicate
+        engine; only rule sets strictly above ``ap_limit`` fall back to the
+        hash engine.
         """
         if self.engine != "auto":
             return self.engine
-        return "bdd" if total_rules <= self.bdd_limit else "hash"
+        if total_rules <= self.bdd_limit:
+            return "bdd"
+        if total_rules <= self.ap_limit:
+            return "ap"
+        return "hash"
 
     def _check_with_bdd(
         self,
@@ -367,6 +420,52 @@ class EquivalenceChecker:
             logical_count=len(logical),
             deployed_count=len(deployed),
             engine="bdd",
+        )
+
+    def _check_with_ap(
+        self,
+        switch_uid: str,
+        logical: Sequence[TcamRule],
+        deployed: Sequence[TcamRule],
+    ) -> SwitchCheckResult:
+        table = self.atoms
+        with span("verify.ap.build", switch=switch_uid) as build:
+            # Observation *is* the incremental patch: unchanged snapshots
+            # add no classes and cost only dictionary lookups.
+            added = table.observe_rules(logical)
+            added += table.observe_rules(deployed)
+            l_regions = table.regions(logical)
+            t_regions = table.regions(deployed)
+            build.count("rules", len(logical) + len(deployed))
+            build.count("atoms", table.atom_count())
+            build.count("new_classes", added)
+        if l_regions == t_regions:
+            return SwitchCheckResult(
+                switch_uid=switch_uid,
+                equivalent=True,
+                logical_count=len(logical),
+                deployed_count=len(deployed),
+                engine="ap",
+            )
+
+        with span("verify.ap.compare", switch=switch_uid):
+            # Same selection contract as the BDD scan: original rule order,
+            # allow rules only, kept iff the match intersects the difference.
+            missing = table.select_rules(
+                logical, table.diff_regions(l_regions, t_regions)
+            )
+            extra = table.select_rules(
+                deployed, table.diff_regions(t_regions, l_regions)
+            )
+
+        return SwitchCheckResult(
+            switch_uid=switch_uid,
+            equivalent=False,
+            missing_rules=missing,
+            extra_rules=extra,
+            logical_count=len(logical),
+            deployed_count=len(deployed),
+            engine="ap",
         )
 
     @staticmethod

@@ -1,0 +1,103 @@
+"""Property-based differential tests: the atomic-predicate engine vs the BDD.
+
+The AP engine's entire correctness story is "byte-identical to the BDD
+oracle" — same verdicts, same reported rule objects in the same order, same
+``semantic_fingerprint()``.  These properties hammer that claim on random
+rule sets drawn from a deliberately nasty strategy: tiny id space (forced
+overlaps), wildcard ports, ``any`` protocol, full-wildcard matches that
+shadow everything else, and interleaved deny rules.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rules import TcamRule
+from repro.verify import AtomTable, EquivalenceChecker
+
+# Tiny id space so rules collide, shadow, and subsume each other often.
+# Wildcards (port=None, protocol="any") and denies are first-class citizens.
+ap_rule_strategy = st.builds(
+    TcamRule,
+    vrf_scope=st.integers(min_value=1, max_value=2),
+    src_epg=st.integers(min_value=1, max_value=4),
+    dst_epg=st.integers(min_value=1, max_value=4),
+    protocol=st.sampled_from(["tcp", "udp", "icmp", "any"]),
+    port=st.sampled_from([22, 80, 443, 700, None]),
+    action=st.sampled_from(["allow", "allow", "allow", "deny"]),
+    vrf_uid=st.just("vrf:t/v"),
+    src_epg_uid=st.sampled_from([f"epg:t/{i}" for i in range(1, 5)]),
+    dst_epg_uid=st.sampled_from([f"epg:t/{i}" for i in range(1, 5)]),
+    contract_uid=st.just("contract:t/c"),
+    filter_uid=st.sampled_from(["filter:t/a", "filter:t/b"]),
+)
+
+ap_rule_lists = st.lists(ap_rule_strategy, max_size=30)
+
+
+def _check(engine, logical, deployed, **kwargs):
+    return EquivalenceChecker(engine=engine, **kwargs).check_switch(
+        "s", logical, deployed
+    )
+
+
+class TestApMatchesBdd:
+    @given(ap_rule_lists, ap_rule_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_reports_are_byte_identical(self, logical, deployed):
+        bdd = _check("bdd", logical, deployed)
+        ap = _check("ap", logical, deployed)
+        assert ap.equivalent == bdd.equivalent
+        # Identical rule *objects* in identical order — not just equal keys.
+        assert ap.missing_rules == bdd.missing_rules
+        assert ap.extra_rules == bdd.extra_rules
+        assert ap.logical_count == bdd.logical_count
+        assert ap.deployed_count == bdd.deployed_count
+
+    @given(ap_rule_lists, ap_rule_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_network_semantic_fingerprints_are_identical(self, logical, deployed):
+        logical_map = {"leaf-1": logical, "leaf-2": deployed}
+        deployed_map = {"leaf-1": deployed, "leaf-2": deployed}
+        bdd = EquivalenceChecker(engine="bdd").check_network(logical_map, deployed_map)
+        ap = EquivalenceChecker(engine="ap").check_network(logical_map, deployed_map)
+        assert ap.semantic_fingerprint() == bdd.semantic_fingerprint()
+
+    @given(ap_rule_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_full_wildcard_shadows_everything(self, rules):
+        """T = one full wildcard per triple L uses ⇒ nothing is ever missing."""
+        wildcard_cover = list(
+            {
+                (r.vrf_scope, r.src_epg, r.dst_epg): TcamRule(
+                    r.vrf_scope, r.src_epg, r.dst_epg, "any", None, action="allow"
+                )
+                for r in rules
+                if r.action == "allow"
+            }.values()
+        )
+        bdd = _check("bdd", rules, wildcard_cover)
+        ap = _check("ap", rules, wildcard_cover)
+        assert ap.missing_rules == bdd.missing_rules == []
+        assert ap.extra_rules == bdd.extra_rules
+
+    @given(ap_rule_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_identical_sets_equivalent_under_ap(self, rules):
+        result = _check("ap", rules, list(rules))
+        assert result.equivalent
+        assert result.missing_rules == [] and result.extra_rules == []
+
+    @given(ap_rule_lists, ap_rule_lists, ap_rule_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_shared_growing_table_never_changes_verdicts(
+        self, logical, deployed, noise
+    ):
+        """A table pre-refined by unrelated rules reports identically to a
+        fresh one — the refinement-soundness property the worker-resident
+        shared tables (and `IncrementalChecker` reuse) depend on."""
+        fresh = _check("ap", logical, deployed)
+        table = AtomTable()
+        table.observe_rules(noise)
+        refined = _check("ap", logical, deployed, atoms=table)
+        assert refined.equivalent == fresh.equivalent
+        assert refined.missing_rules == fresh.missing_rules
+        assert refined.extra_rules == fresh.extra_rules

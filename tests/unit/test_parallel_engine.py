@@ -144,7 +144,17 @@ class TestWorkUnits:
             space_widths=(13, 15, 2, 16),
         )
         (outcome,) = run_shard(task).outcomes
-        assert outcome.engine == "hash"  # 20 combined rules > bdd_limit=5
+        assert outcome.engine == "ap"  # 20 combined rules > bdd_limit=5
+        hashed = ShardTask(
+            units=(SwitchWorkUnit(switch_uid="leaf-1", logical_ref=0, deployed_ref=0),),
+            buffers=(keys,),
+            engine="auto",
+            bdd_limit=5,
+            ap_limit=10,
+            space_widths=(13, 15, 2, 16),
+        )
+        (outcome,) = run_shard(hashed).outcomes
+        assert outcome.engine == "hash"  # 20 combined rules > ap_limit=10
 
     def test_identical_rule_sets_intern_to_shared_buffers(self):
         reset_worker_cache()

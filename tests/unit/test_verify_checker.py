@@ -94,26 +94,35 @@ class TestEquivalenceChecker:
             r.match_key() for r in hash_result.missing_rules
         }
 
-    def test_auto_engine_selects_hash_for_large_sets(self):
+    def test_auto_engine_selects_ap_above_bdd_limit(self):
         checker = EquivalenceChecker(engine="auto", bdd_limit=10)
         logical = [_rule(p) for p in range(80, 120)]
         result = checker.check_switch("s", logical, logical)
-        assert result.engine == "hash"
+        assert result.engine == "ap"
         small = checker.check_switch("s", logical[:3], logical[:3])
         assert small.engine == "bdd"
 
-    def test_auto_engine_boundary_inclusive_at_exact_bdd_limit(self):
-        """The documented boundary: exactly ``bdd_limit`` combined rules is
-        still BDD territory; one more rule flips to the hash engine."""
-        checker = EquivalenceChecker(engine="auto", bdd_limit=10)
+    def test_auto_engine_selects_hash_above_ap_limit(self):
+        checker = EquivalenceChecker(engine="auto", bdd_limit=4, ap_limit=10)
+        logical = [_rule(p) for p in range(80, 120)]
+        result = checker.check_switch("s", logical, logical)
+        assert result.engine == "hash"
+
+    def test_auto_engine_boundaries_inclusive(self):
+        """The documented ladder: exactly ``bdd_limit`` combined rules is
+        still BDD territory, one more flips to the atomic-predicate engine;
+        exactly ``ap_limit`` is still AP territory, one more flips to hash."""
+        checker = EquivalenceChecker(engine="auto", bdd_limit=10, ap_limit=20)
         five = [_rule(p) for p in range(80, 85)]
         at_limit = checker.check_switch("s", five, list(five))  # 5 + 5 == 10
         assert at_limit.engine == "bdd"
         six = [_rule(p) for p in range(80, 86)]
         over_limit = checker.check_switch("s", six, list(five))  # 6 + 5 == 11
-        assert over_limit.engine == "hash"
+        assert over_limit.engine == "ap"
         assert checker._select_engine(10) == "bdd"
-        assert checker._select_engine(11) == "hash"
+        assert checker._select_engine(11) == "ap"
+        assert checker._select_engine(20) == "ap"
+        assert checker._select_engine(21) == "hash"
 
     def test_explicit_engine_ignores_bdd_limit(self):
         checker = EquivalenceChecker(engine="bdd", bdd_limit=1)
