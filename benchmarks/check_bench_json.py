@@ -48,6 +48,7 @@ EXPECTED_KEYS = {
     "BENCH_churn.json": ("events_per_second",),
     "BENCH_trace_overhead.json": ("overhead_ratio", "recorder_ratio"),
     "BENCH_ap.json": ("rules_per_second",),
+    "BENCH_monitor_shard.json": ("events_per_second",),
 }
 
 #: A parallel benchmark that ships a stage attribution must have tiled most

@@ -49,7 +49,7 @@ from ..fabric.switch import AgentState
 from ..faults.base import FaultKind
 from ..faults.injector import FaultInjector
 from ..faults.physical import make_switch_unresponsive, restore_switch
-from ..obs import correlated, dump_flightrecord, span
+from ..obs import correlated, current_corr_id, dump_flightrecord, span
 from ..online.monitor import NetworkMonitor
 from ..policy.objects import Contract, Epg, Filter, FilterEntry
 from ..protocol import DeliveryStatus, Instruction, Operation
@@ -195,6 +195,7 @@ class ChurnDriver:
         bdd_limit: int = 512,
         fault_kinds: Tuple[str, ...] = ("full", "partial"),
         max_workers: Optional[int] = None,
+        partitions: int = 1,
     ) -> None:
         self.controller = controller
         self.profile = profile
@@ -219,6 +220,7 @@ class ChurnDriver:
             controller,
             checker=EquivalenceChecker(bdd_limit=bdd_limit),
             debounce_ticks=1,
+            partitions=partitions,
         )
         if not self.monitor.running:
             self.monitor.start()
@@ -246,7 +248,7 @@ class ChurnDriver:
     def close(self) -> None:
         """Release both sides' worker pools (oracle system and monitor)."""
         self.system.close()
-        self.monitor.delta.close()
+        self.monitor.release_workers()
 
     def __enter__(self) -> "ChurnDriver":
         return self
@@ -268,6 +270,7 @@ class ChurnDriver:
         change_window: int = 100,
         fault_kinds: Tuple[str, ...] = ("full", "partial"),
         max_workers: Optional[int] = None,
+        partitions: int = 1,
     ) -> "ChurnDriver":
         """Generate + deploy ``workload`` and wrap it in a churn driver.
 
@@ -292,6 +295,7 @@ class ChurnDriver:
             change_window=change_window,
             fault_kinds=fault_kinds,
             max_workers=max_workers,
+            partitions=partitions,
         )
 
     def _attachment_map(self) -> Dict[str, Tuple[str, ...]]:
@@ -397,7 +401,13 @@ class ChurnDriver:
         """
         if not isinstance(event, Checkpoint):
             self._events_seen += 1
-        with correlated(prefix="churn"), span(f"churn.{event.kind}", seq=event.seq):
+        # A deterministic per-event corr id (ambient ids still win, so an
+        # HTTP-triggered run keeps its request trail): incidents opened by a
+        # checkpoint's forced poll inherit it, and two runs of the same
+        # stream — or a snapshot-restored continuation — journal the same
+        # bytes.
+        corr_id = current_corr_id() or f"churn-s{event.seq:06d}"
+        with correlated(corr_id=corr_id), span(f"churn.{event.kind}", seq=event.seq):
             self._expire_drains()
             if isinstance(event, PolicyAdd):
                 return self._apply_add(event)

@@ -11,16 +11,26 @@ turns it into a continuous monitor running against a live controller:
 * :mod:`~repro.online.delta` — the incremental L-T equivalence checker
   (per-switch digests, blast-radius re-checks);
 * :mod:`~repro.online.monitor` — the debouncing daemon driving scoped SCOUT
-  runs and the incident lifecycle;
+  runs and the incident lifecycle (partitionable, snapshot/restorable);
+* :mod:`~repro.online.partition` — deterministic switch-ownership maps for
+  the partitioned monitor;
 * :mod:`~repro.online.incidents` — the JSONL-persistable incident store.
 """
 
 from .bus import EventBus
-from .delta import IncrementalChecker, SwitchDigest
-from .events import DeviceFault, Event, PolicyChanged, RuleInstalled, RuleLost
+from .delta import IncrementalChecker, SwitchDigest, merge_checker_states
+from .events import (
+    DeviceFault,
+    Event,
+    PolicyChanged,
+    RuleInstalled,
+    RuleLost,
+    event_from_dict,
+)
 from .incidents import Incident, IncidentStatus, IncidentStore
 from .instrument import Instrumentation, instrument
-from .monitor import MonitorPass, NetworkMonitor
+from .monitor import SNAPSHOT_VERSION, MonitorPass, NetworkMonitor
+from .partition import PartitionMap
 
 __all__ = [
     "DeviceFault",
@@ -33,9 +43,13 @@ __all__ = [
     "Instrumentation",
     "MonitorPass",
     "NetworkMonitor",
+    "PartitionMap",
     "PolicyChanged",
     "RuleInstalled",
     "RuleLost",
+    "SNAPSHOT_VERSION",
     "SwitchDigest",
+    "event_from_dict",
     "instrument",
+    "merge_checker_states",
 ]

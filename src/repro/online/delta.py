@@ -32,7 +32,7 @@ place and no rebuild happens at all.  The one full sweep left is
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..controller.compiler import compile_pair_rules
 from ..controller.controller import Controller
@@ -45,7 +45,21 @@ from ..protocol import Operation
 from ..rules import MatchKey, TcamRule
 from ..verify.checker import EquivalenceChecker, EquivalenceReport, SwitchCheckResult
 
-__all__ = ["SwitchDigest", "IncrementalChecker"]
+__all__ = [
+    "SwitchDigest",
+    "IncrementalChecker",
+    "merge_checker_states",
+]
+
+#: The per-run counters a checker snapshot carries (and a restore reapplies).
+_STAT_KEYS = (
+    "full_checks",
+    "switch_checks",
+    "digest_short_circuits",
+    "pair_recompiles",
+    "index_rebuilds",
+    "index_patches",
+)
 
 #: Object types whose modify (same uid) cannot change the pair/placement
 #: structure of the index — candidates for the in-place index patch.
@@ -72,9 +86,16 @@ class IncrementalChecker:
         self,
         controller: Controller,
         checker: Optional[EquivalenceChecker] = None,
+        owned: Optional[Callable[[str], bool]] = None,
     ) -> None:
         self.controller = controller
         self.checker = checker or EquivalenceChecker()
+        #: Ownership predicate for partitioned monitors: when set, this
+        #: checker maintains switch-level state (rules, refs, digests,
+        #: results, dirt) only for switches the predicate accepts, and skips
+        #: compiling pairs placed entirely on foreign switches.  ``None``
+        #: (the default) owns the whole fabric.
+        self._owned = owned
         #: Lazily created warm pool for large batched refreshes; kept across
         #: refreshes so a churn storm's repeat offenders hit warm workers.
         self._pool: Optional[WarmWorkerPool] = None
@@ -174,7 +195,8 @@ class IncrementalChecker:
 
     def note_switch_change(self, switch_uid: str) -> None:
         """A switch's deployed state (or health) changed: dirty just it."""
-        self._dirty.add(switch_uid)
+        if self._owns(switch_uid):
+            self._dirty.add(switch_uid)
 
     def dirty_switches(self) -> Set[str]:
         return set(self._dirty)
@@ -182,12 +204,17 @@ class IncrementalChecker:
     # ------------------------------------------------------------------ #
     # Pair-level logical-rule cache
     # ------------------------------------------------------------------ #
+    def _owns(self, switch_uid: str) -> bool:
+        return self._owned is None or self._owned(switch_uid)
+
     def _apply_pair(self, pair: EpgPair) -> None:
         """Re-derive one pair's rules/placement and patch the switch maps."""
         assert self._index is not None
         old_rules = self._pair_rules.get(pair, {})
         old_placement = self._pair_placement.get(pair, ())
         for switch_uid in old_placement:
+            if not self._owns(switch_uid):
+                continue
             refs = self._switch_refs.get(switch_uid, {})
             rules = self._switch_rules.get(switch_uid, {})
             for key in old_rules:
@@ -201,12 +228,20 @@ class IncrementalChecker:
 
         new_rules: Dict[MatchKey, TcamRule] = {}
         if self._index.contracts_for_pair(pair):
-            self.pair_recompiles += 1
-            new_rules = {
-                rule.match_key(): rule for rule in compile_pair_rules(self._index, pair)
-            }
+            # A partitioned checker only compiles pairs that touch at least
+            # one owned switch; the owning partitions cover the rest.
+            if self._owned is None or any(
+                self._owns(uid) for uid in self._index.switches_for_pair(pair)
+            ):
+                self.pair_recompiles += 1
+                new_rules = {
+                    rule.match_key(): rule
+                    for rule in compile_pair_rules(self._index, pair)
+                }
         new_placement = tuple(self._index.switches_for_pair(pair)) if new_rules else ()
         for switch_uid in new_placement:
+            if not self._owns(switch_uid):
+                continue
             refs = self._switch_refs.setdefault(switch_uid, {})
             rules = self._switch_rules.setdefault(switch_uid, {})
             for key, rule in new_rules.items():
@@ -243,6 +278,10 @@ class IncrementalChecker:
         self._switch_refs = {}
         self._switch_rules = {}
         for pair in self._index.pairs:
+            if self._owned is not None and not any(
+                self._owns(uid) for uid in self._index.switches_for_pair(pair)
+            ):
+                continue
             rules = {
                 rule.match_key(): rule for rule in compile_pair_rules(self._index, pair)
             }
@@ -252,6 +291,8 @@ class IncrementalChecker:
             self._pair_rules[pair] = rules
             self._pair_placement[pair] = placement
             for switch_uid in placement:
+                if not self._owns(switch_uid):
+                    continue
                 refs = self._switch_refs.setdefault(switch_uid, {})
                 bucket = self._switch_rules.setdefault(switch_uid, {})
                 for key, rule in rules.items():
@@ -262,7 +303,11 @@ class IncrementalChecker:
             switch_uid: list(rules.values())
             for switch_uid, rules in self._switch_rules.items()
         }
-        deployed = self.controller.collect_deployed_rules()
+        deployed = {
+            switch_uid: rules
+            for switch_uid, rules in self.controller.collect_deployed_rules().items()
+            if self._owns(switch_uid)
+        }
         report = self.checker.check_network(logical, deployed)
         self.full_checks += 1
         self._results = dict(report.results)
@@ -429,6 +474,10 @@ class IncrementalChecker:
     def result_for(self, switch_uid: str) -> Optional[SwitchCheckResult]:
         return self._results.get(switch_uid)
 
+    def results(self) -> Dict[str, SwitchCheckResult]:
+        """Every per-switch result this checker currently holds (a copy)."""
+        return dict(self._results)
+
     def digest_for(self, switch_uid: str) -> Optional[SwitchDigest]:
         return self._digests.get(switch_uid)
 
@@ -451,3 +500,225 @@ class IncrementalChecker:
             "atom_version": self.checker.atoms.version,
             "atom_patches": self.checker.atoms.patches,
         }
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        """The full checker state as one JSON-ready dict.
+
+        Everything is serialized — results, digests, the pair-granular L
+        cache, the per-switch rule/refcount maps, and the *dirt* (dirty
+        switches/pairs, unresolved object blast radii, index staleness) —
+        so :meth:`restore_state` is pure deserialization: no recompile, no
+        sweep, and byte-identical behavior from the first post-restore
+        refresh onward.
+        """
+        if self._index is None:
+            raise RuntimeError("cannot snapshot a never-bootstrapped checker")
+        return {
+            "results": {
+                uid: self._results[uid].to_dict() for uid in sorted(self._results)
+            },
+            "digests": {
+                uid: {
+                    "logical": [list(key) for key in _ordered_keys(digest.logical)],
+                    "deployed": [list(key) for key in _ordered_keys(digest.deployed)],
+                }
+                for uid, digest in sorted(self._digests.items())
+            },
+            "pairs": [
+                {
+                    "pair": list(pair),
+                    "rules": [
+                        rule.to_dict() for rule in self._pair_rules[pair].values()
+                    ],
+                    "placement": list(self._pair_placement.get(pair, ())),
+                }
+                for pair in sorted(self._pair_rules)
+            ],
+            "switch_rules": {
+                uid: [rule.to_dict() for rule in self._switch_rules[uid].values()]
+                for uid in sorted(self._switch_rules)
+            },
+            "switch_refs": {
+                uid: [
+                    [list(key), count]
+                    for key, count in self._switch_refs[uid].items()
+                ]
+                for uid in sorted(self._switch_refs)
+            },
+            "dirty_switches": sorted(self._dirty),
+            "dirty_pairs": [list(pair) for pair in sorted(self._dirty_pairs)],
+            "pending_objects": [
+                [uid, object_type.value if object_type is not None else None]
+                for uid, object_type in self._pending_objects
+            ],
+            "index_dirty": self._index_dirty,
+            "stats": {key: getattr(self, key) for key in _STAT_KEYS},
+        }
+
+    def restore_state(self, state: Dict, with_stats: bool = True) -> None:
+        """Adopt a :meth:`snapshot_state` payload (scoped to owned switches).
+
+        The policy index is rebuilt from the controller's *current* policy —
+        legitimate because every pre-snapshot change already recorded its
+        old-index blast radius into the serialized dirty sets — and the
+        saved ``index_dirty`` flag is kept, so unresolved object blast radii
+        resolve against a rebuilt index exactly like an uninterrupted
+        checker would.  No full sweep runs: ``full_checks`` moves only by
+        what ``with_stats`` restores.
+        """
+        self._results = {
+            uid: _result_from_dict(data)
+            for uid, data in state.get("results", {}).items()
+            if self._owns(uid)
+        }
+        self._digests = {
+            uid: SwitchDigest(
+                logical=frozenset(tuple(key) for key in digest["logical"]),
+                deployed=frozenset(tuple(key) for key in digest["deployed"]),
+            )
+            for uid, digest in state.get("digests", {}).items()
+            if self._owns(uid)
+        }
+        self._pair_rules = {}
+        self._pair_placement = {}
+        for entry in state.get("pairs", ()):
+            placement = tuple(entry.get("placement", ()))
+            if self._owned is not None and not any(
+                self._owns(uid) for uid in placement
+            ):
+                continue
+            pair = EpgPair(*entry["pair"])
+            rules = [TcamRule.from_dict(data) for data in entry.get("rules", ())]
+            self._pair_rules[pair] = {rule.match_key(): rule for rule in rules}
+            self._pair_placement[pair] = placement
+        self._switch_rules = {
+            uid: {
+                rule.match_key(): rule
+                for rule in (TcamRule.from_dict(data) for data in rule_dicts)
+            }
+            for uid, rule_dicts in state.get("switch_rules", {}).items()
+            if self._owns(uid)
+        }
+        self._switch_refs = {
+            uid: {tuple(key): count for key, count in refs}
+            for uid, refs in state.get("switch_refs", {}).items()
+            if self._owns(uid)
+        }
+        self._dirty = {
+            uid for uid in state.get("dirty_switches", ()) if self._owns(uid)
+        }
+        self._dirty_pairs = {
+            EpgPair(*pair) for pair in state.get("dirty_pairs", ())
+        }
+        self._pending_objects = [
+            (uid, ObjectType(type_value) if type_value is not None else None)
+            for uid, type_value in state.get("pending_objects", ())
+        ]
+        self._index = self.controller.build_index()
+        self._index_dirty = bool(state.get("index_dirty", False))
+        if with_stats:
+            for key in _STAT_KEYS:
+                setattr(self, key, state.get("stats", {}).get(key, 0))
+
+
+# ---------------------------------------------------------------------- #
+# Snapshot plumbing
+# ---------------------------------------------------------------------- #
+def _ordered_keys(keys: FrozenSet[MatchKey]) -> List[MatchKey]:
+    """Match keys in a stable order (``port`` may be ``None``, so a plain
+    sort over the tuples would compare ``None`` with ``int``)."""
+    return sorted(
+        keys,
+        key=lambda key: (
+            key[0],
+            key[1],
+            key[2],
+            key[3],
+            key[4] is not None,
+            key[4] if key[4] is not None else 0,
+            key[5],
+        ),
+    )
+
+
+def _result_from_dict(data: Dict) -> SwitchCheckResult:
+    """Rebuild one per-switch result from ``SwitchCheckResult.to_dict``.
+
+    (The service has an equivalent deserializer, but the online layer sits
+    below it — importing it here would invert the package layering.)
+    """
+    return SwitchCheckResult(
+        switch_uid=data["switch_uid"],
+        equivalent=data["equivalent"],
+        missing_rules=[TcamRule.from_dict(r) for r in data.get("missing_rules", ())],
+        extra_rules=[TcamRule.from_dict(r) for r in data.get("extra_rules", ())],
+        logical_count=data.get("logical_count", 0),
+        deployed_count=data.get("deployed_count", 0),
+        engine=data.get("engine", "bdd"),
+    )
+
+
+def merge_checker_states(states: Sequence[Dict]) -> Dict:
+    """Merge per-partition :meth:`IncrementalChecker.snapshot_state` payloads.
+
+    Switch-keyed maps are disjoint by ownership and merge trivially.  Pair
+    caches overlap on pairs spanning a partition boundary — both owners
+    compiled them from the same index, so either copy is correct and the
+    merge dedupes by pair.  Dirty sets union; unresolved object blast radii
+    dedupe in first-seen order (a partition whose index was rebuilt early,
+    e.g. through an external ``.index`` access, holds a suffix of the
+    others); counters sum, so aggregated monitor stats survive a restore.
+    """
+    if not states:
+        raise ValueError("cannot merge zero checker states")
+    merged: Dict = {
+        "results": {},
+        "digests": {},
+        "pairs": [],
+        "switch_rules": {},
+        "switch_refs": {},
+        "dirty_switches": set(),
+        "dirty_pairs": set(),
+        "pending_objects": [],
+        "index_dirty": False,
+        "stats": {key: 0 for key in _STAT_KEYS},
+    }
+    pairs: Dict[Tuple[str, str], Dict] = {}
+    seen_pending = set()
+    for state in states:
+        merged["results"].update(state.get("results", {}))
+        merged["digests"].update(state.get("digests", {}))
+        merged["switch_rules"].update(state.get("switch_rules", {}))
+        merged["switch_refs"].update(state.get("switch_refs", {}))
+        merged["dirty_switches"].update(state.get("dirty_switches", ()))
+        merged["dirty_pairs"].update(tuple(p) for p in state.get("dirty_pairs", ()))
+        merged["index_dirty"] = merged["index_dirty"] or bool(
+            state.get("index_dirty", False)
+        )
+        for entry in state.get("pairs", ()):
+            pairs[tuple(entry["pair"])] = entry
+        for uid, type_value in state.get("pending_objects", ()):
+            if (uid, type_value) not in seen_pending:
+                seen_pending.add((uid, type_value))
+                merged["pending_objects"].append([uid, type_value])
+        for key in _STAT_KEYS:
+            merged["stats"][key] += state.get("stats", {}).get(key, 0)
+    merged["pairs"] = [pairs[pair] for pair in sorted(pairs)]
+    merged["results"] = {
+        uid: merged["results"][uid] for uid in sorted(merged["results"])
+    }
+    merged["digests"] = {
+        uid: merged["digests"][uid] for uid in sorted(merged["digests"])
+    }
+    merged["switch_rules"] = {
+        uid: merged["switch_rules"][uid] for uid in sorted(merged["switch_rules"])
+    }
+    merged["switch_refs"] = {
+        uid: merged["switch_refs"][uid] for uid in sorted(merged["switch_refs"])
+    }
+    merged["dirty_switches"] = sorted(merged["dirty_switches"])
+    merged["dirty_pairs"] = [list(pair) for pair in sorted(merged["dirty_pairs"])]
+    return merged

@@ -16,11 +16,16 @@ Events are frozen dataclasses stamped with the shared logical clock, so an
 event trace is fully deterministic and replayable.  They carry enough
 provenance (object uid / rule / device uid) for the incremental checker to
 compute a blast radius without consulting global state.
+
+Every event also round-trips through a kind-tagged dict
+(:meth:`Event.to_dict` / :func:`event_from_dict`), so a monitor snapshot can
+carry its pending batch across a process boundary without losing anything.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from ..fabric.faultlog import FaultCode
 from ..policy.objects import ObjectType
@@ -33,6 +38,7 @@ __all__ = [
     "RuleInstalled",
     "RuleLost",
     "DeviceFault",
+    "event_from_dict",
 ]
 
 
@@ -44,6 +50,10 @@ class Event:
 
     def describe(self) -> str:
         return f"t={self.timestamp} {type(self).__name__}"
+
+    def to_dict(self) -> Dict:
+        """Kind-tagged JSON-ready form; see :func:`event_from_dict`."""
+        raise NotImplementedError(f"{type(self).__name__} is not serializable")
 
 
 @dataclass(frozen=True)
@@ -58,6 +68,16 @@ class PolicyChanged(Event):
     def describe(self) -> str:
         return f"t={self.timestamp} policy-changed {self.operation.value} {self.object_uid}"
 
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "policy-changed",
+            "timestamp": self.timestamp,
+            "object_uid": self.object_uid,
+            "object_type": self.object_type.value,
+            "operation": self.operation.value,
+            "detail": self.detail,
+        }
+
 
 @dataclass(frozen=True)
 class RuleInstalled(Event):
@@ -68,6 +88,14 @@ class RuleInstalled(Event):
 
     def describe(self) -> str:
         return f"t={self.timestamp} rule-installed {self.switch_uid} {self.rule.describe()}"
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "rule-installed",
+            "timestamp": self.timestamp,
+            "switch_uid": self.switch_uid,
+            "rule": self.rule.to_dict(),
+        }
 
 
 @dataclass(frozen=True)
@@ -85,6 +113,15 @@ class RuleLost(Event):
     def describe(self) -> str:
         return f"t={self.timestamp} rule-lost({self.cause}) {self.switch_uid} {self.rule.describe()}"
 
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "rule-lost",
+            "timestamp": self.timestamp,
+            "switch_uid": self.switch_uid,
+            "rule": self.rule.to_dict(),
+            "cause": self.cause,
+        }
+
 
 @dataclass(frozen=True)
 class DeviceFault(Event):
@@ -96,3 +133,51 @@ class DeviceFault(Event):
 
     def describe(self) -> str:
         return f"t={self.timestamp} device-fault {self.device_uid} {self.code.value}"
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "device-fault",
+            "timestamp": self.timestamp,
+            "device_uid": self.device_uid,
+            "code": self.code.value,
+            "detail": self.detail,
+        }
+
+
+def event_from_dict(data: Dict) -> Event:
+    """Rebuild one event from its :meth:`Event.to_dict` form.
+
+    Raises :class:`ValueError` on an unknown kind tag or a malformed enum
+    value — a snapshot carrying events a newer (or corrupted) writer
+    produced should fail loudly at restore time, not at poll time.
+    """
+    kind = data.get("kind")
+    if kind == "policy-changed":
+        return PolicyChanged(
+            timestamp=data["timestamp"],
+            object_uid=data["object_uid"],
+            object_type=ObjectType(data["object_type"]),
+            operation=Operation(data["operation"]),
+            detail=data.get("detail", ""),
+        )
+    if kind == "rule-installed":
+        return RuleInstalled(
+            timestamp=data["timestamp"],
+            switch_uid=data["switch_uid"],
+            rule=TcamRule.from_dict(data["rule"]),
+        )
+    if kind == "rule-lost":
+        return RuleLost(
+            timestamp=data["timestamp"],
+            switch_uid=data["switch_uid"],
+            rule=TcamRule.from_dict(data["rule"]),
+            cause=data.get("cause", "removed"),
+        )
+    if kind == "device-fault":
+        return DeviceFault(
+            timestamp=data["timestamp"],
+            device_uid=data["device_uid"],
+            code=FaultCode(data["code"]),
+            detail=data.get("detail", ""),
+        )
+    raise ValueError(f"unknown event kind {kind!r}")

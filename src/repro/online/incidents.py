@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import enum
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -98,13 +99,26 @@ class Incident:
             raise ValueError(
                 f"unknown incident status {status_value!r} (expected one of: {known})"
             ) from None
+        # Timestamps compare against the logical clock all over the monitor,
+        # so a journal that smuggles in a string (or a float, or a bool)
+        # must fail at load time with the same file:line contract the status
+        # check has — not later, deep inside a lifecycle comparison.
+        for key in ("opened_at", "updated_at"):
+            value = data.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(f"{key} must be an integer, got {value!r}")
+        resolved_at = data.get("resolved_at")
+        if resolved_at is not None and (
+            not isinstance(resolved_at, int) or isinstance(resolved_at, bool)
+        ):
+            raise ValueError(f"resolved_at must be an integer or null, got {resolved_at!r}")
         return cls(
             incident_id=data["incident_id"],
             switch_uid=data["switch_uid"],
             opened_at=data["opened_at"],
             updated_at=data["updated_at"],
             status=status,
-            resolved_at=data.get("resolved_at"),
+            resolved_at=resolved_at,
             missing_rules=data.get("missing_rules", 0),
             extra_rules=data.get("extra_rules", 0),
             suspects=list(data.get("suspects", ())),
@@ -201,9 +215,17 @@ class IncidentStore:
         incident.updated_at = time
         return incident
 
-    def note_fault(self, switch_uid: str, code: str) -> None:
-        """Attach a device fault code to the switch's open incident, if any."""
-        incident = self.active_for(switch_uid)
+    def note_fault(
+        self, switch_uid: str, code: str, incident: Optional[Incident] = None
+    ) -> None:
+        """Attach a device fault code to the switch's open incident.
+
+        Passing ``incident`` targets a specific incident — the one that was
+        *active during the batch* — so a fault observed in the same pass
+        that resolved the incident still lands on it instead of vanishing.
+        """
+        if incident is None:
+            incident = self.active_for(switch_uid)
         if incident is not None and code not in incident.fault_codes:
             incident.fault_codes.append(code)
 
@@ -230,6 +252,34 @@ class IncidentStore:
         return len(self._incidents)
 
     # ------------------------------------------------------------------ #
+    # Snapshot / restore (monitor restart support)
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict:
+        """JSON-ready state: incidents in journal order plus the id counter."""
+        return {
+            "incidents": [incident.to_dict() for incident in self._incidents.values()],
+            "counter": self._counter,
+        }
+
+    def restore(self, state: Dict) -> None:
+        """Replace this store's contents in place from :meth:`snapshot`.
+
+        In place matters: the service (and anything else holding a reference
+        to the store) keeps seeing the restored incidents without re-wiring.
+        """
+        incidents = [Incident.from_dict(data) for data in state.get("incidents", ())]
+        self._incidents.clear()
+        self._active_by_switch.clear()
+        for incident in incidents:
+            self._incidents[incident.incident_id] = incident
+            if incident.is_open:
+                self._active_by_switch[incident.switch_uid] = incident.incident_id
+        counter = state.get("counter", 0)
+        if not isinstance(counter, int) or isinstance(counter, bool):
+            raise ValueError(f"counter must be an integer, got {counter!r}")
+        self._counter = counter
+
+    # ------------------------------------------------------------------ #
     # JSONL persistence
     # ------------------------------------------------------------------ #
     def to_jsonl(self) -> str:
@@ -237,9 +287,22 @@ class IncidentStore:
         return "\n".join(json.dumps(incident.to_dict()) for incident in self._incidents.values())
 
     def save(self, path: Union[str, Path]) -> Path:
+        """Atomically replace ``path`` with the current journal.
+
+        The content lands in a temp file in the same directory first and is
+        renamed over the target with :func:`os.replace`, so a crash mid-save
+        can never leave a truncated journal behind — the reader sees either
+        the old journal or the new one, both complete.
+        """
         path = Path(path)
         content = self.to_jsonl()
-        path.write_text(content + "\n" if content else "")
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            tmp.write_text(content + "\n" if content else "")
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         return path
 
     @classmethod

@@ -19,27 +19,63 @@ Figure 6) runs as a batch pipeline:
 
 The monitor is synchronous and deterministic: ``poll()`` is the single
 entry point, so simulations and tests control exactly when work happens.
+
+Partitioning
+------------
+``partitions=N`` shards the monitor: a :class:`~repro.online.partition.PartitionMap`
+(rule-count-weighted LPT, same planner as the parallel sweep) assigns every
+switch an owner, each partition runs its own :class:`IncrementalChecker`
+scoped to its slice, and a poll refreshes the partitions (concurrently when
+``max_workers`` allows) before merging their disjoint results into one
+deterministic, uid-sorted incident pass.  Verdicts are partition-independent
+— each switch is judged from the same logical/deployed state whoever owns
+it — so a partitioned monitor is fingerprint-identical to a single one.
+
+Snapshot / restore
+------------------
+:meth:`NetworkMonitor.snapshot` captures checker state (all partitions,
+merged), the incident store, the pending event batch and the debounce
+bookkeeping as one JSON-ready dict; :meth:`NetworkMonitor.restore` (or
+:meth:`NetworkMonitor.from_snapshot`) adopts it without a full-fabric
+recheck — ``full_checks`` does not move — and the restored monitor's
+report and incident journal stay byte-identical to a never-restarted
+monitor consuming the same stream.  Restoring into a different partition
+count is a rebalance: the merged state reshards along the new map.
 """
 
 from __future__ import annotations
 
+import contextvars
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from ..controller.controller import Controller
 from ..core.hypothesis import Hypothesis
 from ..obs import correlated, current_corr_id, span
 from ..core.scout import RecentChangeOracle, ScoutLocalizer
+from ..parallel.pool import WarmWorkerPool
 from ..risk.augment import augment_switch_model
 from ..risk.switch_model import build_switch_risk_model
 from ..verify.checker import EquivalenceChecker, EquivalenceReport, SwitchCheckResult
 from .bus import EventBus
-from .delta import IncrementalChecker
-from .events import DeviceFault, Event, PolicyChanged, RuleInstalled, RuleLost
+from .delta import IncrementalChecker, merge_checker_states
+from .events import (
+    DeviceFault,
+    Event,
+    PolicyChanged,
+    RuleInstalled,
+    RuleLost,
+    event_from_dict,
+)
 from .incidents import Incident, IncidentStore
 from .instrument import Instrumentation, instrument
+from .partition import PartitionMap
 
-__all__ = ["MonitorPass", "NetworkMonitor"]
+__all__ = ["MonitorPass", "NetworkMonitor", "SNAPSHOT_VERSION"]
+
+#: Version tag stamped into (and required of) monitor snapshots.
+SNAPSHOT_VERSION = 1
 
 
 @dataclass
@@ -100,11 +136,53 @@ class NetworkMonitor:
         max_wait_ticks: Optional[int] = None,
         change_window: int = 100,
         max_workers: Optional[int] = None,
+        partitions: int = 1,
+        partition_map: Optional[PartitionMap] = None,
     ) -> None:
         self.controller = controller
         self.clock = controller.clock
         self.bus = bus or EventBus()
-        self.delta = IncrementalChecker(controller, checker=checker)
+        if partitions < 1:
+            raise ValueError(f"partitions must be >= 1, got {partitions}")
+        #: The switch-ownership split (``None`` for an unpartitioned
+        #: monitor).  An explicit map wins over ``partitions`` — that is how
+        #: a restore keeps the ownership a snapshot was taken under.
+        if partition_map is not None:
+            self.partition_map: Optional[PartitionMap] = partition_map
+        elif partitions > 1:
+            self.partition_map = self._plan_partition_map(controller, partitions)
+        else:
+            self.partition_map = None
+        self.partitions = (
+            len(self.partition_map) if self.partition_map is not None else 1
+        )
+        base_checker = checker or EquivalenceChecker()
+        self._checkers: List[IncrementalChecker] = []
+        for index in range(self.partitions):
+            if index == 0:
+                part_checker = base_checker
+            else:
+                # Sibling partitions may refresh on concurrent threads, and
+                # the atom table is not thread-safe — every partition gets
+                # its own engine clone (same space/engine/limits, own atoms).
+                part_checker = EquivalenceChecker(
+                    rule_space=base_checker.rule_space,
+                    engine=base_checker.engine,
+                    bdd_limit=base_checker.bdd_limit,
+                    ap_limit=base_checker.ap_limit,
+                )
+            owned = (
+                self._owner_predicate(index) if self.partition_map is not None else None
+            )
+            self._checkers.append(
+                IncrementalChecker(controller, checker=part_checker, owned=owned)
+            )
+        #: Partition 0's checker — the whole checker for an unpartitioned
+        #: monitor, so every pre-partitioning caller keeps working.
+        self.delta = self._checkers[0]
+        self._partition_pools: List[Optional[WarmWorkerPool]] = [
+            None for _ in range(self.partitions)
+        ]
         self.localizer = localizer or ScoutLocalizer(
             change_oracle=RecentChangeOracle(
                 change_log=controller.change_log, window=change_window
@@ -127,6 +205,34 @@ class NetworkMonitor:
         self._first_event_at: Optional[int] = None
         self._last_event_at: Optional[int] = None
         self._instrumentation: Optional[Instrumentation] = None
+        #: Monotonic poll counter — part of the deterministic poll corr id,
+        #: carried through snapshots so a restored monitor's incident corr
+        #: ids continue the sequence instead of restarting it.
+        self._poll_seq = 0
+        self._restores = 0
+        self._restored_passes = 0
+        self._restored_events = 0
+
+    @staticmethod
+    def _plan_partition_map(controller: Controller, partitions: int) -> PartitionMap:
+        """LPT-balance the fabric's switches by deployed rule count."""
+        switches = controller.fabric.switches
+        weights = {
+            uid: max(1, len(switch.deployed_rules()))
+            for uid, switch in switches.items()
+        }
+        return PartitionMap.plan(switches, partitions, weights=weights)
+
+    def _owner_predicate(self, index: int) -> Callable[[str], bool]:
+        partition_map = self.partition_map
+        assert partition_map is not None
+        return lambda uid: partition_map.partition_of(uid) == index
+
+    def _checker_for(self, switch_uid: str) -> IncrementalChecker:
+        """The checker owning ``switch_uid`` (the sole checker unpartitioned)."""
+        if self.partition_map is None:
+            return self.delta
+        return self._checkers[self.partition_map.partition_of(switch_uid)]
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -146,9 +252,19 @@ class NetworkMonitor:
             raise RuntimeError("monitor is already running")
         self._instrumentation = instrument(self.controller, self.bus)
         self.bus.subscribe(self._on_event)
-        report = self.delta.bootstrap()
+        if self.partitions == 1:
+            report = self.delta.bootstrap()
+            results = dict(report.results)
+        else:
+            results = {}
+            for index, checker in enumerate(self._checkers):
+                with span("monitor.bootstrap", partition=index):
+                    results.update(checker.bootstrap().results)
+            report = EquivalenceReport()
+            for switch_uid in sorted(results):
+                report.update(results[switch_uid])
         baseline = MonitorPass(triggered_at=self.clock.peek(), events=0)
-        self._apply_results(dict(report.results), baseline)
+        self._apply_results(results, baseline)
         if not baseline.quiet:
             self.passes.append(baseline)
         # Bootstrapping consumed the current state; drop events the sweep
@@ -166,10 +282,20 @@ class NetworkMonitor:
         self.bus.unsubscribe(self._on_event)
 
     def close(self) -> None:
-        """Detach (if attached) and release the checker's worker pool."""
+        """Detach (if attached) and release every worker pool."""
         if self.running:
             self.stop()
-        self.delta.close()
+        self.release_workers()
+
+    def release_workers(self) -> None:
+        """Shut down partition pools and checker pools; the monitor stays
+        attached and usable (pools are re-created lazily on the next need)."""
+        for index, pool in enumerate(self._partition_pools):
+            if pool is not None:
+                pool.shutdown()
+                self._partition_pools[index] = None
+        for checker in self._checkers:
+            checker.close()
 
     # ------------------------------------------------------------------ #
     # Event intake
@@ -180,14 +306,20 @@ class NetworkMonitor:
             self._first_event_at = event.timestamp
         self._last_event_at = event.timestamp
         if isinstance(event, PolicyChanged):
-            self.delta.note_policy_change(
-                event.object_uid, event.object_type, event.operation
-            )
+            # Policy blast radii can land on any partition's switches, so
+            # the change is broadcast; each checker resolves it against its
+            # own slice.
+            for checker in self._checkers:
+                checker.note_policy_change(
+                    event.object_uid, event.object_type, event.operation
+                )
         elif isinstance(event, (RuleInstalled, RuleLost)):
-            self.delta.note_switch_change(event.switch_uid)
+            self._checker_for(event.switch_uid).note_switch_change(event.switch_uid)
         elif isinstance(event, DeviceFault):
             if event.device_uid in self.controller.fabric:
-                self.delta.note_switch_change(event.device_uid)
+                self._checker_for(event.device_uid).note_switch_change(
+                    event.device_uid
+                )
 
     def pending_events(self) -> int:
         return len(self._pending)
@@ -226,13 +358,19 @@ class NetworkMonitor:
         if not force and not self.due(now):
             return None
         events = self._pending
+        first_event_at = self._first_event_at
         self._pending = []
         self._first_event_at = None
+        self._poll_seq += 1
         # The correlated() wrapper opens before the span so the poll span and
         # everything beneath it — localization, worker shards, the incident
-        # the pass may open — share one id (the caller's, when an HTTP
-        # request triggered the poll; a fresh "poll-..." id otherwise).
-        with correlated(prefix="poll"):
+        # the pass may open — share one id: the caller's, when an HTTP
+        # request triggered the poll, else a *deterministic* poll id (clock
+        # time + poll sequence number, both snapshot-carried), so the corr
+        # ids stamped onto incidents replay byte-identically across runs
+        # and restarts.
+        corr_id = current_corr_id() or f"poll-t{now}-{self._poll_seq:06d}"
+        with correlated(corr_id=corr_id):
             with span("monitor.poll", events=len(events)) as poll_span:
                 fault_codes: Dict[str, Set[str]] = {}
                 for event in events:
@@ -240,12 +378,106 @@ class NetworkMonitor:
                         fault_codes.setdefault(event.device_uid, set()).add(
                             event.code.value
                         )
-                refreshed = self.delta.refresh(max_workers=self.max_workers)
+                try:
+                    refreshed = self._refresh_all()
+                except BaseException:
+                    # A failed refresh (broken worker pool, engine bug) must
+                    # not lose the batch: put the events back in front of
+                    # anything that arrived meanwhile and restore the
+                    # debounce timestamps, so due() fires again and the next
+                    # poll retries the same work.
+                    self._pending = events + self._pending
+                    self._first_event_at = first_event_at
+                    if self._last_event_at is None and events:
+                        self._last_event_at = events[-1].timestamp
+                    self._poll_seq -= 1
+                    raise
                 result = MonitorPass(triggered_at=now, events=len(events))
                 self._apply_results(refreshed, result, fault_codes)
                 poll_span.count("rechecked", len(result.switches_rechecked))
         self.passes.append(result)
         return result
+
+    def _refresh_all(self) -> Dict[str, SwitchCheckResult]:
+        """Refresh every partition and merge their disjoint result maps.
+
+        With a worker budget the partitions refresh on concurrent threads,
+        each batching its digest-failing switches through its own persistent
+        warm pool; otherwise they run serially inline.  If any partition
+        fails, switches the *successful* partitions already re-checked are
+        re-dirtied before the error propagates, so the retry re-applies
+        their (cheap, digest-answered) verdicts in the same pass as the
+        recovered partition's — no incident transition is lost or split.
+        """
+        if self.partitions == 1:
+            return self.delta.refresh(max_workers=self.max_workers)
+        refreshed: Dict[str, SwitchCheckResult] = {}
+        failures: List[BaseException] = []
+        if self.max_workers is not None and self.max_workers != 1:
+            budget = max(2, self.max_workers // self.partitions)
+
+            def run_partition(index: int, checker: IncrementalChecker):
+                with span("monitor.partition", partition=index):
+                    return checker.refresh(
+                        executor=self._partition_pool(index), max_workers=budget
+                    )
+
+            with ThreadPoolExecutor(
+                max_workers=min(self.partitions, self.max_workers),
+                thread_name_prefix="monitor-partition",
+            ) as threads:
+                futures = [
+                    # copy_context() ships the ambient corr id and span down
+                    # to the worker thread (both are context-local).
+                    threads.submit(
+                        contextvars.copy_context().run, run_partition, index, checker
+                    )
+                    for index, checker in enumerate(self._checkers)
+                ]
+                for future in futures:
+                    try:
+                        refreshed.update(future.result())
+                    except BaseException as exc:  # noqa: BLE001 - re-raised below
+                        failures.append(exc)
+        else:
+            for index, checker in enumerate(self._checkers):
+                try:
+                    with span("monitor.partition", partition=index):
+                        refreshed.update(checker.refresh())
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    failures.append(exc)
+                    break
+        if failures:
+            for switch_uid in refreshed:
+                self._checker_for(switch_uid).note_switch_change(switch_uid)
+            raise failures[0]
+        return refreshed
+
+    def _partition_pool(self, index: int) -> WarmWorkerPool:
+        """The lazily created persistent warm pool of one partition.
+
+        A warm pool needs at least two workers to leave inline mode (and to
+        populate its memo caches), so each partition gets its share of the
+        budget, floored at two — mild oversubscription is deliberate: memo
+        hits keep most workers idle.
+        """
+        pool = self._partition_pools[index]
+        if pool is None or pool.closed:
+            budget = max(2, (self.max_workers or 2) // self.partitions)
+            pool = WarmWorkerPool(max_workers=budget)
+            self._partition_pools[index] = pool
+        return pool
+
+    def worker_pools(self) -> List[WarmWorkerPool]:
+        """Every live warm pool the monitor owns — the partition executors
+        plus any pool a checker spun up for itself (health/metrics rollups
+        read these)."""
+        pools = [pool for pool in self._partition_pools if pool is not None]
+        for checker in self._checkers:
+            pool = getattr(checker, "_pool", None)
+            if pool is not None:
+                pools.append(pool)
+        return pools
 
     def _apply_results(
         self,
@@ -254,6 +486,14 @@ class NetworkMonitor:
         fault_codes: Optional[Dict[str, Set[str]]] = None,
     ) -> None:
         now = monitor_pass.triggered_at
+        # Capture, per faulted device, the incident that was active *during*
+        # the batch — before the lifecycle step below can resolve it.  A
+        # fault observed in the same pass that resolves its switch's
+        # incident belongs to that incident, not to the void.
+        batch_incidents: Dict[str, Optional[Incident]] = {
+            device_uid: self.store.active_for(device_uid)
+            for device_uid in (fault_codes or {})
+        }
         for switch_uid in sorted(results):
             result = results[switch_uid]
             monitor_pass.switches_rechecked.append(switch_uid)
@@ -291,29 +531,167 @@ class NetworkMonitor:
                 if incident is not None:
                     monitor_pass.resolved.append(incident)
         for device_uid, codes in sorted((fault_codes or {}).items()):
+            # Fall back to the now-active incident for a switch whose
+            # incident *opened* in this very pass.
+            incident = batch_incidents.get(device_uid) or self.store.active_for(
+                device_uid
+            )
             for code in sorted(codes):
-                self.store.note_fault(device_uid, code)
+                self.store.note_fault(device_uid, code, incident=incident)
 
     def _localize_switch(self, switch_uid: str, result: SwitchCheckResult) -> Hypothesis:
         """Scoped SCOUT: one switch risk model, augmented with its misses."""
         with span("monitor.localize", switch=switch_uid):
-            model = build_switch_risk_model(self.delta.index, switch_uid)
+            index = self._checker_for(switch_uid).index
+            model = build_switch_risk_model(index, switch_uid)
             augment_switch_model(model, result.missing_rules)
             return self.localizer.localize(model)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict:
+        """The monitor's full state as one JSON-ready dict.
+
+        Carries the merged checker state of every partition, the incident
+        store, the pending (not yet polled) event batch with its debounce
+        timestamps, the partition map and the poll/clock counters — enough
+        for :meth:`restore` to resume exactly where this monitor stands,
+        with no full-fabric recheck and byte-identical downstream output.
+        """
+        return {
+            "version": SNAPSHOT_VERSION,
+            "kind": "monitor-snapshot",
+            "clock": self.clock.peek(),
+            "partitions": self.partitions,
+            "partition_map": (
+                self.partition_map.to_dict() if self.partition_map is not None else None
+            ),
+            "debounce_ticks": self.debounce_ticks,
+            "max_wait_ticks": self.max_wait_ticks,
+            "poll_seq": self._poll_seq,
+            "passes": len(self.passes) + self._restored_passes,
+            "events_seen": self.bus.total_events() + self._restored_events,
+            "pending_events": [event.to_dict() for event in self._pending],
+            "first_event_at": self._first_event_at,
+            "last_event_at": self._last_event_at,
+            "checker": merge_checker_states(
+                [checker.snapshot_state() for checker in self._checkers]
+            ),
+            "incidents": self.store.snapshot(),
+        }
+
+    def restore(self, snapshot: Dict) -> None:
+        """Adopt a :meth:`snapshot` payload and attach to the controller.
+
+        Must be called *instead of* :meth:`start` (on a monitor that is not
+        running): the checker state deserializes in place of the bootstrap
+        sweep, so ``full_checks`` does not move; the incident store refills
+        in place (references held by the service stay valid); pending events
+        and debounce timestamps come back so not even an unprocessed batch
+        is lost; and instrumentation attaches last, after all state is in
+        place.  The logical clock catches up to the snapshot's time if it
+        is behind (it never runs backward).
+        """
+        if self.running:
+            raise RuntimeError("cannot restore a running monitor (stop it first)")
+        if snapshot.get("kind") != "monitor-snapshot":
+            raise ValueError("not a monitor snapshot (missing kind tag)")
+        version = snapshot.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported monitor snapshot version {version!r} "
+                f"(expected {SNAPSHOT_VERSION})"
+            )
+        snapshot_clock = snapshot.get("clock", 0)
+        behind = snapshot_clock - self.clock.peek()
+        if behind > 0:
+            self.clock.tick(behind)
+        self.debounce_ticks = snapshot.get("debounce_ticks", self.debounce_ticks)
+        max_wait = snapshot.get("max_wait_ticks")
+        if max_wait is not None:
+            self.max_wait_ticks = max_wait
+        self._poll_seq = snapshot.get("poll_seq", 0)
+        self._restored_passes = snapshot.get("passes", 0)
+        self._restored_events = snapshot.get("events_seen", 0)
+        checker_state = snapshot["checker"]
+        for index, checker in enumerate(self._checkers):
+            # Counters land on partition 0 only: they were merged across
+            # partitions at snapshot time, so restoring the sum everywhere
+            # would multiply it.  Aggregated stats() sums right back.
+            checker.restore_state(checker_state, with_stats=(index == 0))
+        self.store.restore(snapshot.get("incidents", {"incidents": [], "counter": 0}))
+        self._pending = [
+            event_from_dict(data) for data in snapshot.get("pending_events", ())
+        ]
+        self._first_event_at = snapshot.get("first_event_at")
+        self._last_event_at = snapshot.get("last_event_at")
+        self._restores += 1
+        self._instrumentation = instrument(self.controller, self.bus)
+        self.bus.subscribe(self._on_event)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        controller: Controller,
+        snapshot: Dict,
+        partitions: Optional[int] = None,
+        **kwargs,
+    ) -> "NetworkMonitor":
+        """Build a monitor around ``controller`` and restore ``snapshot``.
+
+        Without ``partitions`` the snapshot's own partition map is reused —
+        ownership survives the restart even if the fabric's rule weights
+        shifted meanwhile.  Passing a different count is a *rebalance*: the
+        merged checker state reshards along a freshly planned map (safe,
+        because per-switch verdicts are partition-independent).
+        """
+        stored_map = snapshot.get("partition_map")
+        count = partitions if partitions is not None else snapshot.get("partitions", 1)
+        partition_map: Optional[PartitionMap] = None
+        if stored_map is not None and count == len(stored_map.get("shards", ())):
+            partition_map = PartitionMap.from_dict(stored_map)
+        monitor = cls(
+            controller,
+            partitions=count,
+            partition_map=partition_map,
+            **kwargs,
+        )
+        monitor.restore(snapshot)
+        return monitor
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def report(self) -> EquivalenceReport:
         """The live network-wide L-T verdict (no sweep; may lag pending events)."""
-        return self.delta.report()
+        if self.partitions == 1:
+            return self.delta.report()
+        results: Dict[str, SwitchCheckResult] = {}
+        for checker in self._checkers:
+            results.update(checker.results())
+        report = EquivalenceReport()
+        for switch_uid in sorted(results):
+            report.update(results[switch_uid])
+        return report
 
     def stats(self) -> Dict[str, int]:
-        return {
-            **self.delta.stats(),
-            "events_seen": self.bus.total_events(),
-            "pending_events": len(self._pending),
-            "passes": len(self.passes),
-            "incidents": len(self.store),
-            "active_incidents": len(self.store.active()),
-        }
+        combined = dict(self.delta.stats())
+        for checker in self._checkers[1:]:
+            for key, value in checker.stats().items():
+                # Atom-table gauges are per-engine-clone, not additive.
+                if key in ("atom_version", "atom_patches"):
+                    continue
+                combined[key] = combined.get(key, 0) + value
+        combined.update(
+            {
+                "events_seen": self.bus.total_events() + self._restored_events,
+                "pending_events": len(self._pending),
+                "passes": len(self.passes) + self._restored_passes,
+                "incidents": len(self.store),
+                "active_incidents": len(self.store.active()),
+                "partitions": self.partitions,
+                "restores": self._restores,
+            }
+        )
+        return combined

@@ -27,6 +27,7 @@ POST    ``/monitor/poll``                  process due events (``{"force": true}
 GET     ``/monitor/status``                monitor stats + pending events
 POST    ``/monitor/start``                 attach + baseline (409 when running)
 POST    ``/monitor/stop``                  detach (409 when stopped)
+POST    ``/monitor/snapshot``              monitor state dump (``{"path": ...}``)
 GET     ``/incidents/{incident_id}/flightrecord``  black-box bundle for one incident
 GET     ``/health``                        component health (worst-of rollup)
 GET     ``/slo``                           SLO attainment + burn rates
@@ -51,6 +52,9 @@ production traffic through the WSGI adapter.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
 from typing import Dict, Optional
 
 from ..campaign.runner import run_campaign
@@ -138,6 +142,8 @@ class ScoutService:
         system: Optional[ScoutSystem] = None,
         auto_start: bool = True,
         tracing: bool = True,
+        partitions: Optional[int] = None,
+        restore_snapshot: Optional[Dict] = None,
     ) -> None:
         self.controller = controller
         self.name = name
@@ -145,7 +151,22 @@ class ScoutService:
         # max_workers=2 routes monitor refreshes through the sharded engine
         # (still inline below its small-fabric cutoff), so poll traces carry
         # the adopted worker.* spans operators debug incidents with.
-        self.monitor = monitor or NetworkMonitor(controller, max_workers=2)
+        # A restore snapshot replaces the bootstrap sweep entirely: the
+        # monitor comes up already attached (``running``), so :meth:`start`
+        # below leaves it alone and ``full_checks`` never moves.
+        if monitor is None:
+            if restore_snapshot is not None:
+                monitor = NetworkMonitor.from_snapshot(
+                    controller,
+                    restore_snapshot,
+                    partitions=partitions,
+                    max_workers=2,
+                )
+            else:
+                monitor = NetworkMonitor(
+                    controller, max_workers=2, partitions=partitions or 1
+                )
+        self.monitor = monitor
         self.store = self.monitor.store
         self.metrics = MetricsRegistry()
         # One long-lived collector for the whole service: every request and
@@ -306,6 +327,7 @@ class ScoutService:
         add("GET", "/monitor/status", self._get_monitor_status)
         add("POST", "/monitor/start", self._post_monitor_start)
         add("POST", "/monitor/stop", self._post_monitor_stop)
+        add("POST", "/monitor/snapshot", self._post_monitor_snapshot)
         add("GET", "/metrics", self._get_metrics)
         add("GET", "/traces", self._get_traces)
 
@@ -335,6 +357,16 @@ class ScoutService:
             "repro_switches",
             lambda: float(len(self.controller.fabric.switches)),
             help="Switches in the monitored fabric.",
+        )
+        gauge(
+            "repro_monitor_partitions",
+            lambda: float(self.monitor.partitions),
+            help="Ownership partitions the monitor's checker is sharded into.",
+        )
+        gauge(
+            "repro_monitor_restores",
+            lambda: float(self.monitor.stats().get("restores", 0)),
+            help="Snapshot restores this monitor has absorbed.",
         )
         for component in self.health.names():
             gauge(
@@ -385,8 +417,9 @@ class ScoutService:
     def _pool_stats(self) -> Dict:
         """Merged lifetime stats over every live warm pool (system + monitor)."""
         merged = {"workers": 0, "rounds": 0, "respawns": 0, "hits": 0, "misses": 0}
-        for owner in (self.system, self.monitor.delta):
-            pool = getattr(owner, "_pool", None)
+        pools = [getattr(self.system, "_pool", None)]
+        pools.extend(self.monitor.worker_pools())
+        for pool in pools:
             if pool is None or pool.closed:
                 continue
             stats = pool.stats()
@@ -808,6 +841,39 @@ class ScoutService:
         self.monitor.stop()
         return {"running": False}
 
+    def _post_monitor_snapshot(self, request: Request) -> Dict:
+        """Dump the monitor's full restorable state (optionally to a file).
+
+        With ``{"path": ...}`` the snapshot is also written atomically
+        (temp file + rename) to that path, so a deploy hook can capture
+        state right before killing the daemon and hand the file to
+        ``repro-service --restore``.
+        """
+        if not self.monitor.running:
+            raise Conflict("monitor is not running (nothing to snapshot)")
+        body = request.json_body()
+        unknown = set(body) - {"path"}
+        if unknown:
+            raise BadRequest(
+                f"unknown snapshot parameter(s): {', '.join(sorted(map(str, unknown)))}"
+            )
+        path = body.get("path")
+        if path is not None and (not isinstance(path, str) or not path):
+            raise BadRequest(f"path must be a non-empty string, got {path!r}")
+        snapshot = self.monitor.snapshot()
+        saved = None
+        if path is not None:
+            target = Path(path)
+            tmp = target.with_name(target.name + ".tmp")
+            try:
+                tmp.write_text(json.dumps(snapshot, sort_keys=True) + "\n")
+                os.replace(tmp, target)
+            except BaseException:
+                tmp.unlink(missing_ok=True)
+                raise
+            saved = str(target)
+        return {"snapshot": snapshot, "saved": saved}
+
     # ------------------------------------------------------------------ #
     # Handlers: metrics
     # ------------------------------------------------------------------ #
@@ -848,13 +914,17 @@ def service_for_profile(
     sync_audits: bool = False,
     auto_start: bool = True,
     tracing: bool = True,
+    partitions: Optional[int] = None,
+    restore_snapshot: Optional[Dict] = None,
 ) -> ScoutService:
     """Generate, deploy and wrap one named workload profile.
 
     The daemon's boot path: resolve the profile (``ValueError`` for unknown
     names), generate the synthetic policy + fabric, deploy it through the
     controller and attach a service (monitor bootstrapped when
-    ``auto_start``).
+    ``auto_start``, or restored from ``restore_snapshot`` with no sweep at
+    all — the restart path).  ``partitions`` shards the monitor's checker
+    by switch ownership; with a snapshot it rebalances the restored state.
     """
     profile = resolve_profile(name, seed=seed)
     workload = generate_workload(profile)
@@ -866,4 +936,6 @@ def service_for_profile(
         sync_audits=sync_audits,
         auto_start=auto_start,
         tracing=tracing,
+        partitions=partitions,
+        restore_snapshot=restore_snapshot,
     )

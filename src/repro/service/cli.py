@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import argparse
 import json
+from pathlib import Path
 from typing import Optional, Sequence
 
 from ..controller.controller import Controller
 from ..core.system import ScoutSystem
+from ..online.monitor import NetworkMonitor
 from ..workloads.generator import generate_workload
 from ..workloads.profiles import profile_names, resolve_profile
 from .app import ScoutService, service_for_profile
@@ -62,20 +64,44 @@ def main_service(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="disable the service trace collector (GET /traces stays empty)",
     )
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        help="shard the monitor's checker into N switch-ownership partitions",
+    )
+    parser.add_argument(
+        "--restore",
+        metavar="PATH",
+        default=None,
+        help="resume the monitor from a POST /monitor/snapshot JSON file "
+        "instead of running the bootstrap sweep",
+    )
     args = parser.parse_args(argv)
 
+    if args.partitions is not None and args.partitions < 1:
+        parser.error(f"--partitions must be >= 1, got {args.partitions}")
+    restore_snapshot = None
+    if args.restore is not None:
+        try:
+            restore_snapshot = json.loads(Path(args.restore).read_text())
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot load snapshot {args.restore!r}: {exc}")
     try:
         service = service_for_profile(
             args.profile,
             seed=args.seed,
             sync_audits=args.sync_audits or args.once,
             tracing=not args.no_trace,
+            partitions=args.partitions,
+            restore_snapshot=restore_snapshot,
         )
     except ValueError as exc:
         parser.error(str(exc))
+    mode = "restored" if restore_snapshot is not None else "running"
     print(
         f"[repro-service] profile {service.name!r} deployed: "
-        f"{len(service.controller.fabric.switches)} switch(es), monitor running"
+        f"{len(service.controller.fabric.switches)} switch(es), monitor {mode}"
     )
     if args.once:
         return _self_check(service)
@@ -209,6 +235,45 @@ def _self_check(service: ScoutService) -> int:
             if str(entry.get("kind", "")).startswith("bus.")
         ]
         check("flight record captured bus traffic", bool(bus_events))
+
+    # Snapshot → restart → restore: a fresh monitor adopting the snapshot
+    # must come up with the incident intact, the same live verdict, and —
+    # the whole point — zero additional full sweeps.
+    snap = client.post("/monitor/snapshot", json={})
+    check("POST /monitor/snapshot", snap.status == 200)
+    snapshot = snap.json().get("snapshot") or {}
+    full_before = service.monitor.stats().get("full_checks")
+    verdict_before = service.monitor.report().semantic_fingerprint()
+    open_before = {item.incident_id for item in service.store.active()}
+    stopped = client.post("/monitor/stop", json={})
+    check("POST /monitor/stop", stopped.status == 200)
+    restored = NetworkMonitor.from_snapshot(service.controller, snapshot)
+    check(
+        "restored monitor attaches without a sweep",
+        restored.running and restored.stats().get("full_checks") == full_before,
+        f"full_checks={restored.stats().get('full_checks')}",
+    )
+    check(
+        "incidents survive the restart",
+        bool(open_before)
+        and {item.incident_id for item in restored.store.active()} == open_before,
+        f"{len(restored.store.active())} open",
+    )
+    check(
+        "restored verdict matches the pre-restart monitor",
+        restored.report().semantic_fingerprint() == verdict_before,
+    )
+    restored.close()
+    # Resume the original service monitor the same way (no bootstrap sweep).
+    service.monitor.restore(snapshot)
+    status = client.get("/monitor/status")
+    status_body = status.json() if status.status == 200 else {}
+    check(
+        "monitor resumed after restore",
+        status.status == 200
+        and status_body.get("running") is True
+        and status_body.get("stats", {}).get("restores", 0) >= 1,
+    )
 
     service.close()
     verdict = "ok" if failures == 0 else f"{failures} failure(s)"

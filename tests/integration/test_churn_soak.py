@@ -60,6 +60,32 @@ def test_soak_simulation_profile():
     _soak("simulation")
 
 
+def test_soak_partitioned_simulation_matches_single():
+    """Satellite contract: partitioned-vs-unpartitioned incident identity on
+    the ``simulation`` profile (the ``small`` half runs in the unit lane)."""
+    single = ChurnDriver.for_workload(
+        "simulation", events=300, seed=SOAK_SEED, checkpoint_interval=100
+    )
+    sharded = ChurnDriver.for_workload(
+        "simulation", events=300, seed=SOAK_SEED, checkpoint_interval=100, partitions=4
+    )
+    try:
+        report_single = single.run()
+        report_sharded = sharded.run()
+        assert report_single.identity() == report_sharded.identity()
+        assert single.monitor.store.to_jsonl() == sharded.monitor.store.to_jsonl()
+        assert (
+            single.monitor.report().semantic_fingerprint()
+            == sharded.monitor.report().semantic_fingerprint()
+        )
+        # One bootstrap per partition is the only full-sweep difference.
+        assert report_single.monitor_stats["full_checks"] == 1
+        assert report_sharded.monitor_stats["full_checks"] == 4
+    finally:
+        single.close()
+        sharded.close()
+
+
 def test_soak_is_deterministic_end_to_end():
     """Two identical 1k-event soaks produce identical identities."""
     first = ChurnDriver.for_workload("small", events=SOAK_EVENTS, seed=99).run()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -120,6 +121,97 @@ class TestResolveIncidentById:
         store.open("leaf-1", time=1)
         incident = store.resolve("leaf-1", time=2)
         assert store.resolve_incident(incident.incident_id, time=3) is None
+
+
+class TestTimestampValidation:
+    @pytest.mark.parametrize(
+        "key, value",
+        [
+            ("opened_at", "7"),
+            ("opened_at", 7.0),
+            ("opened_at", True),
+            ("opened_at", None),
+            ("updated_at", "later"),
+            ("updated_at", False),
+            ("resolved_at", "9"),
+            ("resolved_at", 9.5),
+            ("resolved_at", True),
+        ],
+    )
+    def test_non_integer_timestamp_is_rejected(self, tmp_path, key, value):
+        # Timestamps compare against the logical clock all over the monitor;
+        # a smuggled string/float/bool must fail at load time with the same
+        # file:line contract the status check has.
+        data = json.loads(GOOD)
+        data[key] = value
+        with pytest.raises(ValueError, match=key) as excinfo:
+            IncidentStore.load(_journal(tmp_path, json.dumps(data)))
+        assert ":1:" in str(excinfo.value)
+
+    def test_null_resolved_at_is_allowed(self, tmp_path):
+        data = json.loads(GOOD)
+        data["resolved_at"] = None
+        store = IncidentStore.load(_journal(tmp_path, json.dumps(data)))
+        assert store.active_for("leaf-1") is not None
+
+    def test_missing_timestamp_is_rejected(self, tmp_path):
+        data = json.loads(GOOD)
+        del data["opened_at"]
+        with pytest.raises(ValueError, match="opened_at"):
+            IncidentStore.load(_journal(tmp_path, json.dumps(data)))
+
+    def test_non_strict_load_skips_bad_timestamps(self, tmp_path):
+        data = json.loads(GOOD)
+        data["opened_at"] = "7"
+        store = IncidentStore.load(_journal(tmp_path, json.dumps(data)), strict=False)
+        assert len(store) == 0 and store.skipped_lines == 1
+
+
+class TestAtomicSave:
+    @staticmethod
+    def _store():
+        store = IncidentStore()
+        store.open("leaf-1", time=1, missing_rules=2)
+        return store
+
+    def test_failed_replace_leaves_the_old_journal_intact(self, tmp_path, monkeypatch):
+        path = tmp_path / "incidents.jsonl"
+        self._store().save(path)
+        before = path.read_text()
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.online.incidents.os.replace", boom)
+        bigger = self._store()
+        bigger.open("leaf-2", time=3)
+        with pytest.raises(OSError):
+            bigger.save(path)
+        # The old journal survives byte-for-byte and no temp file is left.
+        assert path.read_text() == before
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_partial_write_never_reaches_the_journal(self, tmp_path, monkeypatch):
+        path = tmp_path / "incidents.jsonl"
+        self._store().save(path)
+        before = path.read_text()
+
+        def torn_write(self, content, *args, **kwargs):
+            # Simulate a crash mid-write: half the bytes land, then the
+            # process dies.  Only the temp file may ever be torn.
+            with open(self, "w") as handle:
+                handle.write(content[: len(content) // 2])
+            raise OSError("crash mid-write")
+
+        monkeypatch.setattr(Path, "write_text", torn_write)
+        with pytest.raises(OSError):
+            self._store().save(path)
+        monkeypatch.undo()
+        # A reader can never observe the torn write: the journal is the
+        # complete old one and the half-written temp file was cleaned up.
+        assert path.read_text() == before
+        assert list(tmp_path.iterdir()) == [path]
+        assert len(IncidentStore.load(path)) == 1
 
 
 class TestRoundTripStillWorks:

@@ -205,6 +205,108 @@ class TestStartStop:
         monitor2.stop()
 
 
+class TestFailedPollRecovery:
+    def test_failed_refresh_keeps_the_batch_and_retries(self, monitored, monkeypatch):
+        scenario, monitor, _ = monitored
+        controller = scenario.controller
+        switch = scenario.fabric.switch("leaf-2")
+        lost = switch.tcam.remove_where(lambda rule: rule.port == 700)
+        assert lost
+        pending = monitor.pending_events()
+        controller.clock.tick(2)
+
+        calls = {"n": 0}
+        real_refresh = monitor.delta.refresh
+
+        def flaky_refresh(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("worker pool died mid-refresh")
+            return real_refresh(*args, **kwargs)
+
+        monkeypatch.setattr(monitor.delta, "refresh", flaky_refresh)
+        with pytest.raises(RuntimeError):
+            monitor.poll()
+        # The batch survives the failure: same events, still due, nothing
+        # recorded as a pass.
+        assert monitor.pending_events() == pending
+        assert monitor.due()
+        assert monitor.passes == []
+
+        # The retry processes exactly the batch the failed poll put back —
+        # and the corr id shows the failed attempt burned no sequence number.
+        result = monitor.poll()
+        assert result is not None
+        assert result.events == pending
+        assert result.switches_rechecked == ["leaf-2"]
+        assert len(result.opened) == 1
+        now = controller.clock.peek()
+        assert result.opened[0].corr_id == f"poll-t{now}-000001"
+
+    def test_events_arriving_after_a_failed_poll_join_the_retried_batch(
+        self, monitored, monkeypatch
+    ):
+        scenario, monitor, _ = monitored
+        controller = scenario.controller
+        scenario.fabric.switch("leaf-2").tcam.remove_where(lambda rule: rule.port == 700)
+        before = monitor.pending_events()
+        controller.clock.tick(2)
+
+        monkeypatch.setattr(
+            monitor.delta, "refresh", lambda *a, **k: (_ for _ in ()).throw(OSError())
+        )
+        with pytest.raises(OSError):
+            monitor.poll()
+        monkeypatch.undo()
+
+        # A second fault lands while the monitor is broken: the restored
+        # batch stays *in front of* it, so nothing is reordered or lost.
+        scenario.fabric.switch("leaf-3").tcam.remove_where(lambda rule: rule.port == 700)
+        assert monitor.pending_events() > before
+        controller.clock.tick(2)
+        result = monitor.poll()
+        assert result.switches_rechecked == ["leaf-2", "leaf-3"]
+        assert {incident.switch_uid for incident in result.opened} == {"leaf-2", "leaf-3"}
+
+
+class TestSamePassFaultAndResolve:
+    def test_fault_code_lands_on_the_incident_the_same_pass_resolves(self, monitored):
+        scenario, monitor, _ = monitored
+        controller = scenario.controller
+        switch = scenario.fabric.switch("leaf-2")
+        switch.tcam.remove_where(lambda rule: rule.port == 700)
+        controller.clock.tick(2)
+        opened = monitor.poll()
+        incident = opened.opened[0]
+        assert incident.fault_codes == []
+
+        # One batch carries both the device fault and the repair: the pass
+        # resolves the incident and must still attach the code to it — the
+        # fault belongs to the incident that was active during the batch,
+        # not to the void.
+        switch.make_unresponsive()  # raises SWITCH_UNREACHABLE on the device log
+        switch.sync_tcam()
+        controller.clock.tick(2)
+        healed = monitor.poll()
+        assert healed.resolved == [incident]
+        assert not incident.is_open
+        assert FaultCode.SWITCH_UNREACHABLE.value in incident.fault_codes
+
+    def test_fault_code_still_attaches_when_the_incident_opens_in_the_pass(
+        self, monitored
+    ):
+        # The complementary ordering (fault + violation in one batch) keeps
+        # working: the code lands on the incident the pass just opened.
+        scenario, monitor, _ = monitored
+        switch = scenario.fabric.switch("leaf-1")
+        switch.tcam.remove_where(lambda rule: rule.port == 80)
+        switch.make_unresponsive()
+        scenario.controller.clock.tick(2)
+        result = monitor.poll()
+        assert len(result.opened) == 1
+        assert FaultCode.SWITCH_UNREACHABLE.value in result.opened[0].fault_codes
+
+
 class TestIncidentStore:
     def test_open_twice_rejected(self):
         store = IncidentStore()
